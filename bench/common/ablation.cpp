@@ -1,0 +1,86 @@
+#include "common/ablation.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/evaluation.h"
+#include "eval/table.h"
+
+namespace soteria::bench {
+
+std::vector<AblationResult> run_ablation(
+    const std::vector<AblationSetting>& settings) {
+  HarnessConfig base = config_from_env();
+  base.dataset_scale = 0.02;  // ablations retrain per setting
+  if (const char* scale = std::getenv("SOTERIA_ABLATION_SCALE")) {
+    base.dataset_scale = std::strtod(scale, nullptr);
+  }
+  base.cache_dir = "off";  // every setting trains fresh
+
+  std::fprintf(stderr, "[ablation] corpus scale %.4f, %zu settings\n",
+               base.dataset_scale, settings.size());
+  dataset::DatasetConfig data_config;
+  data_config.scale = base.dataset_scale;
+  math::Rng data_rng(base.seed);
+  const auto data = dataset::generate_dataset(data_config, data_rng);
+
+  std::vector<AblationResult> results;
+  for (const auto& setting : settings) {
+    std::fprintf(stderr, "[ablation] training setting '%s'...\n",
+                 setting.name.c_str());
+    core::SoteriaConfig config = base.soteria;
+    setting.apply(config);
+
+    Experiment experiment;
+    experiment.config = base;
+    experiment.data = data;
+    experiment.system = core::SoteriaSystem::train(data.train, config);
+    std::vector<dataset::Sample> everything = data.train;
+    everything.insert(everything.end(), data.test.begin(),
+                      data.test.end());
+    experiment.targets = dataset::select_all_targets(everything);
+
+    auto rng = evaluation_rng(base);
+    const auto clean = evaluate_clean(experiment, rng);
+    const auto aes = evaluate_adversarial(experiment, rng);
+
+    AblationResult result;
+    result.name = setting.name;
+    std::size_t flagged = 0;
+    std::size_t correct = 0;
+    for (const auto& s : clean) {
+      flagged += s.flagged;
+      correct += s.voted == s.truth;
+    }
+    std::size_t detected = 0;
+    for (const auto& a : aes) detected += a.flagged;
+    result.detector_false_positive =
+        clean.empty() ? 0.0
+                      : static_cast<double>(flagged) /
+                            static_cast<double>(clean.size());
+    result.classifier_accuracy =
+        clean.empty() ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(clean.size());
+    result.detector_detection_rate =
+        aes.empty() ? 0.0
+                    : static_cast<double>(detected) /
+                          static_cast<double>(aes.size());
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+void print_ablation(const std::vector<AblationResult>& results,
+                    const std::string& title) {
+  eval::Table table({"Setting", "AE detection %", "Clean FP %",
+                     "Classifier acc %"});
+  for (const auto& r : results) {
+    table.add_row({r.name, eval::format_percent(r.detector_detection_rate),
+                   eval::format_percent(r.detector_false_positive),
+                   eval::format_percent(r.classifier_accuracy)});
+  }
+  std::printf("%s\n", table.render(title).c_str());
+}
+
+}  // namespace soteria::bench

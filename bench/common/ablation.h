@@ -1,0 +1,38 @@
+// Shared driver for the ablation benches: retrains the full system
+// under a sequence of config variants and reports detector and
+// classifier quality side by side. Ablations default to a smaller
+// corpus than the table benches (override with SOTERIA_ABLATION_SCALE).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/harness.h"
+
+namespace soteria::bench {
+
+/// One ablation setting: a label and a config mutation.
+struct AblationSetting {
+  std::string name;
+  std::function<void(core::SoteriaConfig&)> apply;
+};
+
+/// Quality summary for one setting.
+struct AblationResult {
+  std::string name;
+  double detector_detection_rate = 0.0;   ///< over all 12 GEA sets
+  double detector_false_positive = 0.0;   ///< over clean test
+  double classifier_accuracy = 0.0;       ///< voting, clean test
+};
+
+/// Trains + evaluates each setting on the same corpus. Prints progress
+/// to stderr.
+[[nodiscard]] std::vector<AblationResult> run_ablation(
+    const std::vector<AblationSetting>& settings);
+
+/// Renders results as a table with the given title.
+void print_ablation(const std::vector<AblationResult>& results,
+                    const std::string& title);
+
+}  // namespace soteria::bench

@@ -1,0 +1,55 @@
+#include "common/evaluation.h"
+
+#include <cstdio>
+
+namespace soteria::bench {
+
+std::vector<CleanEval> evaluate_clean(Experiment& experiment,
+                                      math::Rng& rng) {
+  std::vector<CleanEval> results;
+  results.reserve(experiment.data.test.size());
+  auto& system = experiment.system;
+  for (const auto& sample : experiment.data.test) {
+    const auto features = system.extract(sample.cfg, rng);
+    CleanEval eval;
+    eval.truth = sample.family;
+    eval.reconstruction_error =
+        system.detector().sample_error(core::pooled_matrix(features));
+    eval.flagged =
+        eval.reconstruction_error > system.detector().threshold();
+    eval.voted = system.classifier().predict(features);
+    eval.dbl_only = system.classifier().predict_dbl_only(features);
+    eval.lbl_only = system.classifier().predict_lbl_only(features);
+    results.push_back(eval);
+  }
+  return results;
+}
+
+std::vector<AeEval> evaluate_adversarial(Experiment& experiment,
+                                         math::Rng& rng) {
+  std::vector<AeEval> results;
+  auto& system = experiment.system;
+  for (const auto& target : experiment.targets) {
+    const auto aes =
+        dataset::generate_adversarial_set(experiment.data.test, target);
+    std::fprintf(stderr, "[eval] %s/%s target: %zu AEs\n",
+                 dataset::family_name(target.family),
+                 dataset::target_size_name(target.size), aes.size());
+    for (const auto& ae : aes) {
+      const auto features = system.extract(ae.cfg, rng);
+      AeEval eval;
+      eval.original = ae.original_family;
+      eval.target = ae.target_family;
+      eval.size = ae.target_size;
+      eval.reconstruction_error =
+          system.detector().sample_error(core::pooled_matrix(features));
+      eval.flagged =
+          eval.reconstruction_error > system.detector().threshold();
+      eval.voted = system.classifier().predict(features);
+      results.push_back(eval);
+    }
+  }
+  return results;
+}
+
+}  // namespace soteria::bench

@@ -1,0 +1,43 @@
+// Shared evaluation passes over a prepared experiment: score every
+// clean test sample and every GEA adversarial example once, then let
+// each bench binary slice the results into its table or figure.
+#pragma once
+
+#include <vector>
+
+#include "common/harness.h"
+#include "eval/metrics.h"
+
+namespace soteria::bench {
+
+/// One scored clean test sample.
+struct CleanEval {
+  dataset::Family truth = dataset::Family::kBenign;
+  double reconstruction_error = 0.0;
+  bool flagged = false;                        ///< detector verdict
+  dataset::Family voted = dataset::Family::kBenign;     ///< 2-CNN vote
+  dataset::Family dbl_only = dataset::Family::kBenign;  ///< DBL CNN vote
+  dataset::Family lbl_only = dataset::Family::kBenign;  ///< LBL CNN vote
+};
+
+/// One scored adversarial example.
+struct AeEval {
+  dataset::Family original = dataset::Family::kBenign;
+  dataset::Family target = dataset::Family::kBenign;
+  dataset::TargetSize size = dataset::TargetSize::kSmall;
+  double reconstruction_error = 0.0;
+  bool flagged = false;
+  dataset::Family voted = dataset::Family::kBenign;
+};
+
+/// Scores every clean test sample (detector RE + all three classifier
+/// verdicts). Deterministic given `rng`.
+[[nodiscard]] std::vector<CleanEval> evaluate_clean(Experiment& experiment,
+                                                    math::Rng& rng);
+
+/// Generates all 12 GEA adversarial sets over the test split and scores
+/// each AE.
+[[nodiscard]] std::vector<AeEval> evaluate_adversarial(
+    Experiment& experiment, math::Rng& rng);
+
+}  // namespace soteria::bench

@@ -1,0 +1,20 @@
+// Shared implementation for the Fig. 9/10/11 benches: PCA of Soteria's
+// walk features — per-class distribution of clean samples (sub-figure
+// a) and clean vs. GEA adversarial examples (sub-figure b) — for one
+// feature view (DBL, LBL, or combined).
+#pragma once
+
+#include <string>
+
+namespace soteria::bench {
+
+/// Which slice of the feature bundle to project.
+enum class FeatureView { kDbl, kLbl, kCombined };
+
+/// Runs the full experiment and prints both sub-figure reports; also
+/// writes scatter CSVs named `<stem>_classes.csv` / `<stem>_ae.csv`.
+/// Returns the process exit code.
+int run_feature_pca(FeatureView view, const std::string& figure_name,
+                    const std::string& csv_stem);
+
+}  // namespace soteria::bench

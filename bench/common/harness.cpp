@@ -1,0 +1,108 @@
+#include "common/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace soteria::bench {
+
+HarnessConfig config_from_env() {
+  HarnessConfig config;
+  if (const char* scale = std::getenv("SOTERIA_SCALE")) {
+    config.dataset_scale = std::strtod(scale, nullptr);
+    if (!(config.dataset_scale > 0.0)) {
+      throw std::invalid_argument("SOTERIA_SCALE must be positive");
+    }
+  }
+  if (const char* seed = std::getenv("SOTERIA_SEED")) {
+    config.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* cache = std::getenv("SOTERIA_CACHE")) {
+    config.cache_dir = cache;
+  }
+  config.soteria.seed = config.seed;
+  return config;
+}
+
+const dataset::GeaTarget& Experiment::target(dataset::Family family,
+                                             dataset::TargetSize size) const {
+  const std::size_t index = dataset::family_index(family) *
+                                dataset::kTargetSizeCount +
+                            static_cast<std::size_t>(size);
+  if (index >= targets.size()) {
+    throw std::out_of_range("Experiment::target: no targets selected");
+  }
+  return targets[index];
+}
+
+namespace {
+
+std::string cache_path(const HarnessConfig& config) {
+  char name[128];
+  std::snprintf(name, sizeof(name), "soteria_s%.4f_seed%llu.bin",
+                config.dataset_scale,
+                static_cast<unsigned long long>(config.seed));
+  return config.cache_dir + "/" + name;
+}
+
+}  // namespace
+
+Experiment prepare_experiment(const HarnessConfig& config) {
+  Experiment experiment;
+  experiment.config = config;
+
+  std::fprintf(stderr, "[harness] generating corpus (scale %.4f, seed %llu)\n",
+               config.dataset_scale,
+               static_cast<unsigned long long>(config.seed));
+  dataset::DatasetConfig data_config;
+  data_config.scale = config.dataset_scale;
+  math::Rng data_rng(config.seed);
+  experiment.data = dataset::generate_dataset(data_config, data_rng);
+  std::fprintf(stderr, "[harness] corpus: %zu train / %zu test\n",
+               experiment.data.train.size(), experiment.data.test.size());
+
+  const bool cache_enabled = config.cache_dir != "off";
+  const std::string path = cache_path(config);
+  bool loaded = false;
+  if (cache_enabled && std::filesystem::exists(path)) {
+    try {
+      experiment.system = core::SoteriaSystem::load_file(path);
+      loaded = true;
+      std::fprintf(stderr, "[harness] loaded trained system from %s\n",
+                   path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[harness] cache load failed (%s); retraining\n",
+                   e.what());
+    }
+  }
+  if (!loaded) {
+    std::fprintf(stderr, "[harness] training Soteria...\n");
+    experiment.system =
+        core::SoteriaSystem::train(experiment.data.train, config.soteria);
+    if (cache_enabled) {
+      std::error_code ec;
+      std::filesystem::create_directories(config.cache_dir, ec);
+      if (!ec) {
+        experiment.system.save_file(path);
+        std::fprintf(stderr, "[harness] cached trained system at %s\n",
+                     path.c_str());
+      }
+    }
+  }
+
+  // GEA targets come from the whole corpus (paper: "in the dataset").
+  std::vector<dataset::Sample> everything = experiment.data.train;
+  everything.insert(everything.end(), experiment.data.test.begin(),
+                    experiment.data.test.end());
+  experiment.targets = dataset::select_all_targets(everything);
+  return experiment;
+}
+
+Experiment prepare_experiment() { return prepare_experiment(config_from_env()); }
+
+math::Rng evaluation_rng(const HarnessConfig& config) {
+  return math::Rng(config.seed).fork(0xe7a1);
+}
+
+}  // namespace soteria::bench

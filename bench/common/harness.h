@@ -1,0 +1,58 @@
+// Shared experiment harness for the table/figure bench binaries.
+//
+// Every bench needs the same expensive preamble: generate the corpus,
+// train (or load from cache) the Soteria system, pick the 12 GEA
+// targets, and extract test features. The harness centralizes that and
+// honours environment overrides so the whole suite can be re-run at a
+// different scale without recompiling:
+//
+//   SOTERIA_SCALE   corpus scale factor        (default 0.04)
+//   SOTERIA_SEED    master seed                (default 42)
+//   SOTERIA_CACHE   model cache directory      (default .soteria_cache;
+//                   set to "off" to disable)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/adversarial.h"
+#include "dataset/generator.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
+
+namespace soteria::bench {
+
+/// Harness-level configuration.
+struct HarnessConfig {
+  double dataset_scale = 0.04;
+  std::uint64_t seed = 42;
+  core::SoteriaConfig soteria = core::cpu_scaled_config();
+  std::string cache_dir = ".soteria_cache";
+};
+
+/// Reads environment overrides on top of the defaults.
+[[nodiscard]] HarnessConfig config_from_env();
+
+/// A fully prepared experiment: corpus, trained system, GEA targets.
+struct Experiment {
+  HarnessConfig config;
+  dataset::Dataset data;
+  core::SoteriaSystem system;
+  std::vector<dataset::GeaTarget> targets;  ///< 12: class-major x size
+
+  /// The target for (family, size).
+  [[nodiscard]] const dataset::GeaTarget& target(
+      dataset::Family family, dataset::TargetSize size) const;
+};
+
+/// Builds the experiment, reusing a cached trained system when the
+/// (scale, seed) key matches. Prints progress to stderr.
+[[nodiscard]] Experiment prepare_experiment(const HarnessConfig& config);
+[[nodiscard]] Experiment prepare_experiment();
+
+/// Derives the per-run RNG benches should use for walk extraction, so
+/// results are reproducible but decorrelated from training draws.
+[[nodiscard]] math::Rng evaluation_rng(const HarnessConfig& config);
+
+}  // namespace soteria::bench

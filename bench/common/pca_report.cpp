@@ -1,0 +1,114 @@
+#include "common/pca_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "eval/table.h"
+#include "math/pca.h"
+
+namespace soteria::bench {
+
+PcaReport project_2d(const math::Matrix& features,
+                     const std::vector<std::string>& groups) {
+  if (features.rows() != groups.size()) {
+    throw std::invalid_argument("project_2d: row/label mismatch");
+  }
+  const auto pca = math::Pca::fit(features, 2);
+  const auto scores = pca.transform(features);
+
+  PcaReport report;
+  report.explained_variance_ratio_pc1 = pca.explained_variance_ratio()[0];
+  report.explained_variance_ratio_pc2 = pca.explained_variance_ratio()[1];
+  report.points.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    report.points.push_back(
+        PcaPoint{groups[i], scores(i, 0), scores(i, 1)});
+  }
+  return report;
+}
+
+namespace {
+
+struct GroupStats {
+  std::size_t count = 0;
+  double sum1 = 0.0, sum2 = 0.0;
+  double sumsq1 = 0.0, sumsq2 = 0.0;
+
+  [[nodiscard]] double mean1() const { return sum1 / count_d(); }
+  [[nodiscard]] double mean2() const { return sum2 / count_d(); }
+  [[nodiscard]] double spread() const {
+    const double var1 = sumsq1 / count_d() - mean1() * mean1();
+    const double var2 = sumsq2 / count_d() - mean2() * mean2();
+    return std::sqrt(std::max(0.0, var1) + std::max(0.0, var2));
+  }
+
+ private:
+  [[nodiscard]] double count_d() const {
+    return static_cast<double>(count);
+  }
+};
+
+}  // namespace
+
+void print_pca_report(const PcaReport& report, const std::string& title,
+                      const std::string& csv_path) {
+  std::map<std::string, GroupStats> stats;
+  for (const auto& p : report.points) {
+    auto& g = stats[p.group];
+    ++g.count;
+    g.sum1 += p.pc1;
+    g.sum2 += p.pc2;
+    g.sumsq1 += p.pc1 * p.pc1;
+    g.sumsq2 += p.pc2 * p.pc2;
+  }
+
+  eval::Table table({"Group", "N", "Centroid PC1", "Centroid PC2",
+                     "Spread"});
+  for (const auto& [name, g] : stats) {
+    table.add_row({name, std::to_string(g.count),
+                   eval::format_double(g.mean1()),
+                   eval::format_double(g.mean2()),
+                   eval::format_double(g.spread())});
+  }
+  std::printf("%s\n", table.render(title).c_str());
+  std::printf("explained variance: PC1 %.1f%%, PC2 %.1f%%\n",
+              100.0 * report.explained_variance_ratio_pc1,
+              100.0 * report.explained_variance_ratio_pc2);
+
+  // Separation score: mean pairwise centroid distance over mean spread.
+  double pair_sum = 0.0;
+  std::size_t pair_count = 0;
+  double spread_sum = 0.0;
+  for (auto it = stats.begin(); it != stats.end(); ++it) {
+    spread_sum += it->second.spread();
+    for (auto jt = std::next(it); jt != stats.end(); ++jt) {
+      const double d1 = it->second.mean1() - jt->second.mean1();
+      const double d2 = it->second.mean2() - jt->second.mean2();
+      pair_sum += std::sqrt(d1 * d1 + d2 * d2);
+      ++pair_count;
+    }
+  }
+  if (pair_count > 0 && spread_sum > 0.0) {
+    const double separation = (pair_sum / static_cast<double>(pair_count)) /
+                              (spread_sum / static_cast<double>(stats.size()));
+    std::printf("separation score (inter-centroid / intra-spread): %.3f "
+                "(higher = more separable)\n",
+                separation);
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (csv) {
+      csv << "group,pc1,pc2\n";
+      for (const auto& p : report.points) {
+        csv << p.group << ',' << p.pc1 << ',' << p.pc2 << '\n';
+      }
+      std::printf("scatter written to %s\n", csv_path.c_str());
+    }
+  }
+}
+
+}  // namespace soteria::bench

@@ -1,0 +1,40 @@
+// Shared PCA reporting for the Fig. 8-11 benches: project labeled
+// feature vectors onto two principal components, print per-group
+// centroids/spreads and a separation score, and dump the full scatter
+// to CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace soteria::bench {
+
+/// One projected point with its group label.
+struct PcaPoint {
+  std::string group;
+  double pc1 = 0.0;
+  double pc2 = 0.0;
+};
+
+/// Result of a 2-component PCA over grouped observations.
+struct PcaReport {
+  std::vector<PcaPoint> points;
+  double explained_variance_ratio_pc1 = 0.0;
+  double explained_variance_ratio_pc2 = 0.0;
+};
+
+/// Fits PCA(2) on `features` (rows parallel to `groups`) and projects.
+/// Throws std::invalid_argument on row/label mismatch or < 2 rows.
+[[nodiscard]] PcaReport project_2d(const math::Matrix& features,
+                                   const std::vector<std::string>& groups);
+
+/// Prints per-group centroid / spread and the mean inter-centroid
+/// distance normalized by mean intra-group spread (higher = more
+/// separable), then writes "group,pc1,pc2" rows to `csv_path` (skipped
+/// if empty).
+void print_pca_report(const PcaReport& report, const std::string& title,
+                      const std::string& csv_path);
+
+}  // namespace soteria::bench

@@ -1,0 +1,8 @@
+// Regenerates Fig. 10: PCA of the level-based (LBL) feature vectors —
+// (a) per-class distribution, (b) clean vs GEA adversarial examples.
+#include "common/feature_pca.h"
+
+int main() {
+  return soteria::bench::run_feature_pca(
+      soteria::bench::FeatureView::kLbl, "Fig. 10 ", "fig10_pca");
+}

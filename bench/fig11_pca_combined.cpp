@@ -1,0 +1,9 @@
+// Regenerates Fig. 11: PCA of the combined (DBL ++ LBL) feature
+// vectors — (a) per-class distribution, (b) clean vs GEA adversarial
+// examples.
+#include "common/feature_pca.h"
+
+int main() {
+  return soteria::bench::run_feature_pca(
+      soteria::bench::FeatureView::kCombined, "Fig. 11 ", "fig11_pca");
+}

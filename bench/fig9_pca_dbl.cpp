@@ -1,0 +1,8 @@
+// Regenerates Fig. 9: PCA of the density-based (DBL) feature vectors —
+// (a) per-class distribution, (b) clean vs GEA adversarial examples.
+#include "common/feature_pca.h"
+
+int main() {
+  return soteria::bench::run_feature_pca(
+      soteria::bench::FeatureView::kDbl, "Fig. 9 ", "fig9_pca");
+}

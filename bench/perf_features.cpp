@@ -1,0 +1,83 @@
+// Micro-benchmarks for the feature substrate: random walks, n-gram
+// counting, TF-IDF vectorization, and full per-sample extraction.
+#include <benchmark/benchmark.h>
+
+#include "features/pipeline.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace soteria;
+
+cfg::Cfg make_cfg(std::size_t n) {
+  math::Rng rng(42);
+  return cfg::Cfg(
+      graph::random_connected_dag_plus(n, 4.0 / static_cast<double>(n),
+                                       rng),
+      0);
+}
+
+features::FeaturePipeline make_pipeline(std::size_t corpus_size) {
+  math::Rng rng(1);
+  std::vector<cfg::Cfg> corpus;
+  for (std::size_t i = 0; i < corpus_size; ++i) {
+    corpus.push_back(make_cfg(40 + rng.index(60)));
+  }
+  features::PipelineConfig config;
+  config.gram_sizes = {1, 2, 3, 4};
+  return features::FeaturePipeline::fit(corpus, config, rng);
+}
+
+void BM_RandomWalk(benchmark::State& state) {
+  const auto cfg = make_cfg(static_cast<std::size_t>(state.range(0)));
+  const features::UndirectedView view(cfg);
+  const std::size_t steps = 5 * cfg.node_count();
+  math::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        features::random_walk_nodes(view, steps, rng));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * steps));
+}
+BENCHMARK(BM_RandomWalk)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_GramCounting(benchmark::State& state) {
+  const auto cfg = make_cfg(128);
+  const auto labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kDensity);
+  math::Rng rng(3);
+  const auto walks =
+      features::labeled_walks(cfg, labels, features::WalkConfig{}, rng);
+  const std::vector<std::size_t> sizes{1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::count_grams(walks, sizes));
+  }
+}
+BENCHMARK(BM_GramCounting);
+
+void BM_TfidfVector(benchmark::State& state) {
+  auto pipeline = make_pipeline(24);
+  const auto cfg = make_cfg(96);
+  math::Rng rng(4);
+  const auto counts = pipeline.gram_counts(
+      cfg, cfg::LabelingMethod::kDensity, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline.dbl_vocabulary().tfidf_vector(counts));
+  }
+}
+BENCHMARK(BM_TfidfVector);
+
+void BM_FullExtraction(benchmark::State& state) {
+  auto pipeline = make_pipeline(24);
+  const auto cfg = make_cfg(static_cast<std::size_t>(state.range(0)));
+  math::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.extract(cfg, rng));
+  }
+}
+BENCHMARK(BM_FullExtraction)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Micro-benchmarks for the NN substrate: matmul, conv1d, and full
+// forward/backward passes of the paper architectures (scaled).
+#include <benchmark/benchmark.h>
+
+#include "math/matrix.h"
+#include "nn/autoencoder.h"
+#include "nn/cnn.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace {
+
+using namespace soteria;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(1);
+  math::Matrix a(n, n);
+  math::Matrix b(n, n);
+  a.fill_normal(rng, 0.0F, 1.0F);
+  b.fill_normal(rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::matmul(a, b));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_AutoencoderForward(benchmark::State& state) {
+  math::Rng rng(2);
+  nn::AutoencoderConfig config;
+  config.input_dim = 1000;
+  config.width_scale = 0.1;
+  auto model = nn::build_autoencoder(config, rng);
+  math::Matrix batch(64, 1000);
+  batch.fill_normal(rng, 0.0F, 0.05F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(batch, false));
+  }
+}
+BENCHMARK(BM_AutoencoderForward);
+
+void BM_AutoencoderTrainStep(benchmark::State& state) {
+  math::Rng rng(3);
+  nn::AutoencoderConfig config;
+  config.input_dim = 1000;
+  config.width_scale = 0.1;
+  auto model = nn::build_autoencoder(config, rng);
+  nn::Adam optimizer(1e-3);
+  const auto params = model.parameters();
+  math::Matrix batch(64, 1000);
+  batch.fill_normal(rng, 0.0F, 0.05F);
+  for (auto _ : state) {
+    model.zero_gradients();
+    const auto out = model.forward(batch, true);
+    const auto loss = nn::mse_loss(out, batch);
+    model.backward(loss.gradient);
+    optimizer.step(params);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_AutoencoderTrainStep);
+
+void BM_CnnForward(benchmark::State& state) {
+  math::Rng rng(4);
+  nn::CnnConfig config;
+  config.input_length = 500;
+  config.filters = static_cast<std::size_t>(state.range(0));
+  config.dense_units = 128;
+  auto model = nn::build_cnn(config, rng);
+  math::Matrix batch(32, 500);
+  batch.fill_normal(rng, 0.0F, 0.05F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(batch, false));
+  }
+}
+BENCHMARK(BM_CnnForward)->Arg(16)->Arg(46);
+
+void BM_CnnTrainStep(benchmark::State& state) {
+  math::Rng rng(5);
+  nn::CnnConfig config;
+  config.input_length = 500;
+  config.filters = 16;
+  config.dense_units = 128;
+  auto model = nn::build_cnn(config, rng);
+  nn::Adam optimizer(1e-3);
+  const auto params = model.parameters();
+  math::Matrix batch(32, 500);
+  batch.fill_normal(rng, 0.0F, 0.05F);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 4;
+  for (auto _ : state) {
+    model.zero_gradients();
+    const auto logits = model.forward(batch, true);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    model.backward(loss.gradient);
+    optimizer.step(params);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_CnnTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

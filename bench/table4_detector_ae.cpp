@@ -1,0 +1,55 @@
+// Regenerates Table IV: detector performance over the GEA adversarial
+// sets — per (target class, size): #AEs, #detected, % detected — plus
+// the overall AE detection accuracy (the paper's 97.79% headline).
+#include <cstdio>
+
+#include "common/evaluation.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace soteria;
+  auto experiment = bench::prepare_experiment();
+  auto rng = bench::evaluation_rng(experiment.config);
+  const auto aes = bench::evaluate_adversarial(experiment, rng);
+
+  eval::Table table({"Class", "Size", "# AEs", "# Detected", "% Detected"});
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  for (auto family : dataset::all_families()) {
+    for (std::size_t s = 0; s < dataset::kTargetSizeCount; ++s) {
+      const auto size = static_cast<dataset::TargetSize>(s);
+      std::size_t set_total = 0;
+      std::size_t set_detected = 0;
+      for (const auto& ae : aes) {
+        if (ae.target != family || ae.size != size) continue;
+        ++set_total;
+        if (ae.flagged) ++set_detected;
+      }
+      total += set_total;
+      detected += set_detected;
+      table.add_row({dataset::family_name(family),
+                     dataset::target_size_name(size),
+                     std::to_string(set_total),
+                     std::to_string(set_detected),
+                     set_total == 0
+                         ? "-"
+                         : eval::format_percent(
+                               static_cast<double>(set_detected) /
+                               static_cast<double>(set_total))});
+    }
+  }
+  table.add_row({"Overall", "-", std::to_string(total),
+                 std::to_string(detected),
+                 total == 0 ? "-"
+                            : eval::format_percent(
+                                  static_cast<double>(detected) /
+                                  static_cast<double>(total))});
+  std::printf("%s\n",
+              table
+                  .render("Table IV: detector performance over GEA "
+                          "adversarial examples")
+                  .c_str());
+  std::printf("paper: overall 97.79%% detected; 9 of 12 target sets above "
+              "99%%; misses concentrated on Large targets\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Regenerates Table V (inferred from the text: the distribution of
+// discriminative vocabulary features across classes — the paper
+// attributes Gafgyt's clean false positives to its "high number of
+// discriminative features"). For each selected gram we find the class
+// with the highest mean term frequency; the table counts how many of
+// the top-500 grams each class "owns" under each labeling.
+#include <cstdio>
+
+#include "common/harness.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace soteria;
+  auto experiment = bench::prepare_experiment();
+  auto rng = bench::evaluation_rng(experiment.config);
+  const auto& pipeline = experiment.system.pipeline();
+
+  // Mean TF-IDF per class per labeling, over up to 50 train samples per
+  // class (the paper's feature analysis uses 200 per class at full
+  // scale).
+  constexpr std::size_t kPerClass = 50;
+  std::vector<std::vector<double>> dbl_mean(
+      dataset::kFamilyCount,
+      std::vector<double>(pipeline.dbl_vocabulary().size(), 0.0));
+  std::vector<std::vector<double>> lbl_mean(
+      dataset::kFamilyCount,
+      std::vector<double>(pipeline.lbl_vocabulary().size(), 0.0));
+  std::array<std::size_t, dataset::kFamilyCount> counted{};
+
+  for (const auto& sample : experiment.data.train) {
+    const auto class_index = dataset::family_index(sample.family);
+    if (counted[class_index] >= kPerClass) continue;
+    ++counted[class_index];
+    const auto features = pipeline.extract(sample.cfg, rng);
+    for (std::size_t i = 0; i < features.pooled_dbl.size(); ++i) {
+      dbl_mean[class_index][i] += features.pooled_dbl[i];
+    }
+    for (std::size_t i = 0; i < features.pooled_lbl.size(); ++i) {
+      lbl_mean[class_index][i] += features.pooled_lbl[i];
+    }
+  }
+  for (std::size_t c = 0; c < dataset::kFamilyCount; ++c) {
+    if (counted[c] == 0) continue;
+    for (auto& v : dbl_mean[c]) v /= static_cast<double>(counted[c]);
+    for (auto& v : lbl_mean[c]) v /= static_cast<double>(counted[c]);
+  }
+
+  const auto owners = [](const std::vector<std::vector<double>>& means,
+                         std::size_t dims) {
+    std::array<std::size_t, dataset::kFamilyCount> won{};
+    for (std::size_t i = 0; i < dims; ++i) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < dataset::kFamilyCount; ++c) {
+        if (means[c][i] > means[best][i]) best = c;
+      }
+      ++won[best];
+    }
+    return won;
+  };
+  const auto dbl_owned = owners(dbl_mean, pipeline.dbl_vocabulary().size());
+  const auto lbl_owned = owners(lbl_mean, pipeline.lbl_vocabulary().size());
+
+  eval::Table table({"Class", "# DBL features", "# LBL features", "Total"});
+  for (auto family : dataset::all_families()) {
+    const auto i = dataset::family_index(family);
+    table.add_row({dataset::family_name(family),
+                   std::to_string(dbl_owned[i]),
+                   std::to_string(lbl_owned[i]),
+                   std::to_string(dbl_owned[i] + lbl_owned[i])});
+  }
+  std::printf("%s\n",
+              table
+                  .render("Table V (inferred): discriminative vocabulary "
+                          "features owned per class")
+                  .c_str());
+  std::printf("paper: cites the class with the most discriminative "
+              "features (Gafgyt there) to explain that class's clean "
+              "false positives; in this corpus feature ownership follows "
+              "the classes with the most distinctive CFG shapes\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Regenerates Table VII: per-class and overall classification accuracy
+// of Soteria's DBL-only, LBL-only, and voting classifiers against the
+// two baselines — graph-theoretic features (Alasmary et al. [3]) and
+// image-based (Cui et al. [5]).
+#include <cstdio>
+
+#include "baseline/graph_features.h"
+#include "baseline/image_classifier.h"
+#include "common/evaluation.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace soteria;
+  auto experiment = bench::prepare_experiment();
+  auto rng = bench::evaluation_rng(experiment.config);
+  const auto clean = bench::evaluate_clean(experiment, rng);
+
+  std::fprintf(stderr, "[table7] training graph-feature baseline...\n");
+  baseline::GraphBaselineConfig graph_config;
+  graph_config.seed = experiment.config.seed ^ 0x6ba5e;
+  auto graph_baseline =
+      baseline::GraphFeatureBaseline::train(experiment.data.train,
+                                            graph_config);
+  std::fprintf(stderr, "[table7] training image baseline...\n");
+  baseline::ImageBaselineConfig image_config;
+  image_config.seed = experiment.config.seed ^ 0x1a6e;
+  auto image_baseline =
+      baseline::ImageBaseline::train(experiment.data.train, image_config);
+
+  // Per-class accuracy accumulators for the five systems.
+  constexpr std::size_t kSystems = 5;  // DBL, LBL, Voting, [3], [5]
+  const char* system_names[kSystems] = {"Soteria DBL", "Soteria LBL",
+                                        "Soteria Voting", "Graph-based [3]",
+                                        "Image-based [5]"};
+  std::size_t correct[kSystems][dataset::kFamilyCount] = {};
+  std::size_t totals[dataset::kFamilyCount] = {};
+
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const auto& sample = experiment.data.test[i];
+    const auto truth_index = dataset::family_index(clean[i].truth);
+    ++totals[truth_index];
+    const dataset::Family predictions[kSystems] = {
+        clean[i].dbl_only,
+        clean[i].lbl_only,
+        clean[i].voted,
+        graph_baseline.predict(sample.cfg),
+        image_baseline.predict(sample.binary),
+    };
+    for (std::size_t s = 0; s < kSystems; ++s) {
+      if (predictions[s] == clean[i].truth) ++correct[s][truth_index];
+    }
+  }
+
+  eval::Table table({"Class", "DBL", "LBL", "Voting", "[3]", "[5]"});
+  for (auto family : dataset::all_families()) {
+    const auto i = dataset::family_index(family);
+    std::vector<std::string> row{dataset::family_name(family)};
+    for (std::size_t s = 0; s < kSystems; ++s) {
+      row.push_back(totals[i] == 0
+                        ? "-"
+                        : eval::format_percent(
+                              static_cast<double>(correct[s][i]) /
+                              static_cast<double>(totals[i])));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> overall{"Overall"};
+  std::size_t test_total = 0;
+  for (std::size_t i = 0; i < dataset::kFamilyCount; ++i) {
+    test_total += totals[i];
+  }
+  for (std::size_t s = 0; s < kSystems; ++s) {
+    std::size_t sum = 0;
+    for (std::size_t i = 0; i < dataset::kFamilyCount; ++i) {
+      sum += correct[s][i];
+    }
+    overall.push_back(eval::format_percent(static_cast<double>(sum) /
+                                           static_cast<double>(test_total)));
+  }
+  table.add_row(std::move(overall));
+
+  std::printf("%s\n",
+              table
+                  .render("Table VII: classification accuracy (%) of "
+                          "Soteria vs. baselines on clean samples")
+                  .c_str());
+  for (std::size_t s = 0; s < kSystems; ++s) {
+    (void)system_names[s];
+  }
+  std::printf("paper: voting overall 99.91%% beats [3] and [5]; the gap is "
+              "largest on Tsunami (rare class), where voting reaches "
+              "100%%\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Corpus explorer: generates the synthetic IoT firmware corpus and
+// reports per-family structural statistics — the CFG shape signal the
+// classifiers learn from.
+//
+//   ./examples/firmware_corpus [scale] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dataset/generator.h"
+#include "eval/table.h"
+#include "graph/properties.h"
+#include "math/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace soteria;
+  const double scale = argc > 1 ? std::strtod(argv[1], nullptr) : 0.02;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  dataset::DatasetConfig config;
+  config.scale = scale;
+  math::Rng rng(seed);
+  const auto data = dataset::generate_dataset(config, rng);
+  std::printf("corpus: %zu train / %zu test (scale %.3f)\n\n",
+              data.train.size(), data.test.size(), scale);
+
+  eval::Table table({"Family", "N", "Nodes (min/med/max)", "Mean edges",
+                     "Mean density", "Mean diameter", "Branch blocks"});
+  for (auto family : dataset::all_families()) {
+    std::vector<double> nodes;
+    std::vector<double> edges;
+    std::vector<double> densities;
+    std::vector<double> diameters;
+    std::vector<double> branches;
+    for (const auto& sample : data.train) {
+      if (sample.family != family) continue;
+      const auto props = graph::graph_properties(sample.cfg.graph());
+      nodes.push_back(static_cast<double>(props.node_count));
+      edges.push_back(static_cast<double>(props.edge_count));
+      densities.push_back(props.density);
+      diameters.push_back(static_cast<double>(props.diameter));
+      branches.push_back(static_cast<double>(props.branch_count));
+    }
+    if (nodes.empty()) continue;
+    char node_range[64];
+    std::snprintf(node_range, sizeof(node_range), "%.0f / %.0f / %.0f",
+                  math::min(nodes), math::median(nodes), math::max(nodes));
+    table.add_row({dataset::family_name(family),
+                   std::to_string(nodes.size()), node_range,
+                   eval::format_double(math::mean(edges), 1),
+                   eval::format_double(math::mean(densities), 4),
+                   eval::format_double(math::mean(diameters), 1),
+                   eval::format_double(math::mean(branches), 1)});
+  }
+  std::printf("%s\n", table.render("Per-family CFG structure (train split)")
+                          .c_str());
+  std::printf("paper node-count ranges: Benign 10-443, Gafgyt 13-133, "
+              "Mirai 12-235, Tsunami 15-79\n");
+  return 0;
+}

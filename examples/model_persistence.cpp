@@ -1,0 +1,49 @@
+// Model persistence: train a system, save it, reload it, and verify the
+// reloaded system produces identical verdicts — the deploy/reload cycle
+// a production consumer of the library needs.
+//
+//   ./examples/model_persistence [path]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dataset/generator.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
+
+int main(int argc, char** argv) {
+  using namespace soteria;
+  const char* path = argc > 1 ? argv[1] : "/tmp/soteria_model.bin";
+
+  dataset::DatasetConfig data_config;
+  data_config.scale = 0.01;
+  math::Rng rng(123);
+  const auto data = dataset::generate_dataset(data_config, rng);
+
+  core::SoteriaConfig config = core::tiny_config();
+  config.seed = 123;
+  std::printf("training on %zu samples...\n", data.train.size());
+  core::SoteriaSystem system = core::SoteriaSystem::train(data.train, config);
+
+  system.save_file(path);
+  std::printf("saved trained system to %s\n", path);
+  core::SoteriaSystem reloaded = core::SoteriaSystem::load_file(path);
+  std::printf("reloaded: threshold %.6f (original %.6f)\n",
+              reloaded.detector().threshold(),
+              system.detector().threshold());
+
+  std::size_t agreements = 0;
+  const std::size_t checks = std::min<std::size_t>(data.test.size(), 20);
+  for (std::size_t i = 0; i < checks; ++i) {
+    // Identical walk draws for both systems -> verdicts must agree.
+    math::Rng walk_rng_a(1000 + i);
+    math::Rng walk_rng_b(1000 + i);
+    const auto a = system.analyze(data.test[i].cfg, walk_rng_a);
+    const auto b = reloaded.analyze(data.test[i].cfg, walk_rng_b);
+    if (a.adversarial == b.adversarial && a.predicted == b.predicted &&
+        a.reconstruction_error == b.reconstruction_error) {
+      ++agreements;
+    }
+  }
+  std::printf("verdict agreement: %zu / %zu samples\n", agreements, checks);
+  return agreements == checks ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Plot the scatter CSVs the fig8-fig11 benches emit.
+
+Usage:
+    python3 scripts/plot_pca.py fig11_pca_ae.csv [out.png]
+
+Requires matplotlib (not needed for the benches themselves — they print
+centroid/spread tables; this script just draws the paper-style scatter).
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
+
+    groups = defaultdict(lambda: ([], []))
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            xs, ys = groups[row["group"]]
+            xs.append(float(row["pc1"]))
+            ys.append(float(row["pc2"]))
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; summary only:")
+        for name, (xs, ys) in sorted(groups.items()):
+            cx = sum(xs) / len(xs)
+            cy = sum(ys) / len(ys)
+            print(f"  {name}: n={len(xs)} centroid=({cx:.3f}, {cy:.3f})")
+        return 0
+
+    markers = ["o", "s", "^", "D", "v", "P"]
+    fig, ax = plt.subplots(figsize=(6, 5))
+    for i, (name, (xs, ys)) in enumerate(sorted(groups.items())):
+        ax.scatter(xs, ys, s=14, alpha=0.6, marker=markers[i % len(markers)],
+                   label=name)
+    ax.set_xlabel("PC1")
+    ax.set_ylabel("PC2")
+    ax.legend()
+    ax.set_title(path)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

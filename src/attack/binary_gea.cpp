@@ -1,0 +1,84 @@
+#include "attack/binary_gea.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "isa/isa.h"
+
+namespace soteria::attack {
+
+namespace {
+
+constexpr std::uint8_t kGuardRegister = 15;
+
+void require_image(std::span<const std::uint8_t> image, const char* what) {
+  if (image.empty() || image.size() % isa::kInstructionSize != 0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": empty or ragged image");
+  }
+}
+
+}  // namespace
+
+BinaryGeaResult binary_gea(std::span<const std::uint8_t> original,
+                           std::span<const std::uint8_t> target) {
+  require_image(original, "binary_gea (original)");
+  require_image(target, "binary_gea (target)");
+
+  const std::size_t original_count =
+      original.size() / isa::kInstructionSize;
+  // Guard: r15 = 0; cmpi r15, 1; jz +original_count (into the target).
+  // r15 != 1, so the jump is never taken and the original side runs —
+  // yet both sides are statically reachable from the entry block.
+  constexpr std::size_t kGuardCount = 3;
+  if (original_count >
+      static_cast<std::size_t>(std::numeric_limits<std::int16_t>::max())) {
+    throw std::out_of_range(
+        "binary_gea: original too large for the guard branch");
+  }
+
+  BinaryGeaResult result;
+  result.guard_instructions = kGuardCount;
+  result.original_offset = kGuardCount;
+  result.target_offset = kGuardCount + original_count;
+
+  result.image.reserve(kGuardCount * isa::kInstructionSize +
+                       original.size() + target.size());
+  isa::encode_to(
+      isa::Instruction{isa::Opcode::kMovImm, kGuardRegister, 0},
+      result.image);
+  isa::encode_to(
+      isa::Instruction{isa::Opcode::kCmpImm, kGuardRegister, 1},
+      result.image);
+  isa::encode_to(
+      isa::Instruction{isa::Opcode::kJz, 0,
+                       static_cast<std::int16_t>(original_count)},
+      result.image);
+  result.image.insert(result.image.end(), original.begin(),
+                      original.end());
+  result.image.insert(result.image.end(), target.begin(), target.end());
+  return result;
+}
+
+std::vector<std::uint8_t> append_attack(
+    std::span<const std::uint8_t> image, std::size_t byte_count,
+    math::Rng& rng) {
+  require_image(image, "append_attack");
+  std::vector<std::uint8_t> out(image.begin(), image.end());
+  const std::size_t instructions =
+      (byte_count + isa::kInstructionSize - 1) / isa::kInstructionSize;
+  static constexpr isa::Opcode kFiller[] = {
+      isa::Opcode::kMovImm, isa::Opcode::kAdd, isa::Opcode::kXor,
+      isa::Opcode::kLoad,   isa::Opcode::kOr,  isa::Opcode::kNop};
+  for (std::size_t i = 0; i < instructions; ++i) {
+    isa::encode_to(
+        isa::Instruction{
+            kFiller[rng.index(std::size(kFiller))],
+            static_cast<std::uint8_t>(rng.index(isa::kRegisterCount)),
+            static_cast<std::int16_t>(rng.uniform_int(0, 255))},
+        out);
+  }
+  return out;
+}
+
+}  // namespace soteria::attack

@@ -1,0 +1,51 @@
+// Code-level attacks against CFG-based classifiers.
+//
+// * binary_gea: the GEA attack realized at the binary level — a guard
+//   block branches to either the original program or the injected
+//   target, with both rejoined at a shared halt. The guard condition is
+//   constant-false for the injected side, so the original behaviour is
+//   preserved (a *practical* AE per Section II-A: reachable in the CFG,
+//   executable, undamaged). Unlike cfg::gea_combine (which merges
+//   graphs), this produces an actual runnable image whose *extracted*
+//   CFG has the shared-entry/shared-exit GEA shape.
+//
+// * append_attack: the binary-level *impractical* AE — benign bytes
+//   appended past the halt. It changes byte-level representations
+//   (e.g. the image baseline's input) while being invisible to CFG
+//   features, which is the paper's motivating contrast.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace soteria::attack {
+
+/// Result of a binary-level GEA combination.
+struct BinaryGeaResult {
+  std::vector<std::uint8_t> image;  ///< runnable combined binary
+  std::size_t guard_instructions = 0;   ///< prologue size (instructions)
+  std::size_t original_offset = 0;      ///< instruction index of original
+  std::size_t target_offset = 0;        ///< instruction index of target
+};
+
+/// Combines `original` with `target` at the code level. Control flow:
+/// a guard compares a register against an impossible constant and
+/// conditionally jumps into the (relocated) target; fall-through enters
+/// the (relocated) original. Each program's halts are preserved, so
+/// whichever side runs terminates the process exactly like the original
+/// did. Throws std::invalid_argument for empty or ragged images and
+/// std::out_of_range if the combined image exceeds branch reach.
+[[nodiscard]] BinaryGeaResult binary_gea(
+    std::span<const std::uint8_t> original,
+    std::span<const std::uint8_t> target);
+
+/// Appends `byte_count` benign-looking filler instructions after the
+/// image's end (never reachable). Changes the byte stream, not the CFG.
+[[nodiscard]] std::vector<std::uint8_t> append_attack(
+    std::span<const std::uint8_t> image, std::size_t byte_count,
+    math::Rng& rng);
+
+}  // namespace soteria::attack

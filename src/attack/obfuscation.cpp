@@ -1,0 +1,82 @@
+#include "attack/obfuscation.h"
+
+#include <stdexcept>
+
+#include "isa/isa.h"
+
+namespace soteria::attack {
+
+namespace {
+
+constexpr std::uint8_t kOpaqueRegister = 14;
+constexpr std::int16_t kImpossibleSentinel = 0x7ABC;
+constexpr std::uint8_t kInvalidOpcode = 0xEE;  // decodes as data
+
+void require_image(std::span<const std::uint8_t> image, const char* what) {
+  if (image.empty() || image.size() % isa::kInstructionSize != 0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": empty or ragged image");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> opaque_predicates(
+    std::span<const std::uint8_t> image, std::size_t count,
+    math::Rng& rng) {
+  require_image(image, "opaque_predicates");
+  auto program = isa::disassemble(image);
+
+  // Inserting instructions would break every relative branch, so the
+  // predicates are appended as a prologue trampoline instead: the new
+  // entry runs `count` opaque diamonds and then jumps to the original
+  // entry. All original offsets stay intact; the CFG gains 2 blocks per
+  // predicate plus the trampoline edge.
+  std::vector<isa::Instruction> prologue;
+  for (std::size_t i = 0; i < count; ++i) {
+    prologue.push_back(isa::Instruction{
+        isa::Opcode::kMovImm, kOpaqueRegister,
+        static_cast<std::int16_t>(rng.uniform_int(0, 255))});
+    prologue.push_back(isa::Instruction{isa::Opcode::kCmpImm,
+                                        kOpaqueRegister,
+                                        kImpossibleSentinel});
+    // r14 != sentinel, so jnz always branches over the junk op.
+    prologue.push_back(isa::Instruction{isa::Opcode::kJnz, 0, 1});
+    prologue.push_back(isa::Instruction{
+        isa::Opcode::kXor,
+        static_cast<std::uint8_t>(rng.index(isa::kRegisterCount)),
+        static_cast<std::int16_t>(rng.uniform_int(0, 255))});
+  }
+  // Jump from the end of the prologue to the original entry, which now
+  // lives right after the prologue: offset 0 (fall-through) would blur
+  // the block boundary, so an explicit jmp keeps the structure obvious.
+  prologue.push_back(isa::Instruction{isa::Opcode::kJmp, 0, 0});
+
+  std::vector<std::uint8_t> out;
+  out.reserve((prologue.size() + program.size()) * isa::kInstructionSize);
+  for (const auto& insn : prologue) isa::encode_to(insn, out);
+  out.insert(out.end(), image.begin(), image.end());
+  return out;
+}
+
+std::vector<std::uint8_t> indirect_branches(
+    std::span<const std::uint8_t> image, double fraction, math::Rng& rng) {
+  require_image(image, "indirect_branches");
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument(
+        "indirect_branches: fraction outside [0, 1]");
+  }
+  std::vector<std::uint8_t> out(image.begin(), image.end());
+  for (std::size_t off = 0; off < out.size();
+       off += isa::kInstructionSize) {
+    if (out[off] == static_cast<std::uint8_t>(isa::Opcode::kJmp) &&
+        rng.bernoulli(fraction)) {
+      // Stand-in for "jmp [reg]": an opaque word the linear sweep
+      // cannot resolve. Preserve the original offset bytes as payload.
+      out[off] = kInvalidOpcode;
+    }
+  }
+  return out;
+}
+
+}  // namespace soteria::attack

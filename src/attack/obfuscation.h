@@ -1,0 +1,41 @@
+// Obfuscation transforms (paper Section V, Limitations).
+//
+// The paper names binary obfuscation as Soteria's main blind spot: an
+// incomplete CFG yields an incomplete feature representation. These
+// transforms let the limitation be *measured* instead of asserted:
+//
+// * opaque_predicates — wraps blocks in always-true conditional jumps
+//   (semantically a no-op, structurally new branches), modelling
+//   function-preserving control-flow obfuscation;
+// * indirect_branches — replaces a fraction of direct jumps with
+//   opaque data words the linear-sweep extractor cannot resolve,
+//   yielding the paper's "incomplete CFG" (missing edges).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/rng.h"
+
+namespace soteria::attack {
+
+/// Inserts `count` opaque predicates at random instruction boundaries:
+///   cmpi r14, <impossible>; jnz skip; <junk op>; skip:
+/// The junk op is unreachable at runtime (r14 is never the sentinel) —
+/// wait: jnz with a non-equal compare *always* branches, so execution
+/// skips the junk, while the CFG gains a diamond per predicate.
+/// Throws std::invalid_argument on an empty/ragged image.
+[[nodiscard]] std::vector<std::uint8_t> opaque_predicates(
+    std::span<const std::uint8_t> image, std::size_t count,
+    math::Rng& rng);
+
+/// Replaces roughly `fraction` of unconditional jumps with an invalid
+/// opcode word (standing in for an indirect, statically unresolvable
+/// branch). The extractor treats the word as inert data, so every
+/// replaced jump removes an edge — an incomplete CFG. Returns the
+/// obfuscated image; `fraction` outside [0, 1] throws.
+[[nodiscard]] std::vector<std::uint8_t> indirect_branches(
+    std::span<const std::uint8_t> image, double fraction, math::Rng& rng);
+
+}  // namespace soteria::attack

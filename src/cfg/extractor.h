@@ -1,0 +1,37 @@
+// Binary image -> CFG extraction (the radare2 role in the paper).
+//
+// Linear-sweep disassembly, exact leader detection (branch targets and
+// fall-through points), basic-block construction, and successor edges:
+//   jmp            -> target
+//   jz/jnz/jlt/jge -> target + fall-through
+//   call           -> callee entry + fall-through (return path)
+//   ret/halt       -> no successors
+//
+// By default the extracted CFG is pruned to the blocks reachable from
+// the entry (image offset 0). That pruning is the property Soteria
+// leans on: bytes appended after a halt, or functions never called, are
+// invisible to every downstream feature.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cfg/cfg.h"
+
+namespace soteria::cfg {
+
+/// Extraction options.
+struct ExtractOptions {
+  /// Keep only blocks reachable from the entry block. Disabling this
+  /// exposes unreachable code in the CFG; tests use it to demonstrate
+  /// the append-immunity property.
+  bool prune_unreachable = true;
+};
+
+/// Extracts the CFG of `image`. Throws std::invalid_argument for an
+/// empty image or one whose size is not a multiple of the instruction
+/// width.
+[[nodiscard]] Cfg extract(std::span<const std::uint8_t> image,
+                          const ExtractOptions& options = {});
+
+}  // namespace soteria::cfg

@@ -1,0 +1,59 @@
+#include "cfg/gea.h"
+
+#include <stdexcept>
+
+#include "graph/traversal.h"
+
+namespace soteria::cfg {
+
+namespace {
+
+/// Exit nodes of `c`, falling back to the deepest reachable node when
+/// the sub-CFG has none (everything loops).
+std::vector<graph::NodeId> exits_or_deepest(const Cfg& c) {
+  auto exits = c.exit_nodes();
+  if (!exits.empty()) return exits;
+  const auto dist = graph::bfs_distances(c.graph(), c.entry());
+  graph::NodeId deepest = c.entry();
+  std::size_t best = 0;
+  for (graph::NodeId v = 0; v < dist.size(); ++v) {
+    if (dist[v] != graph::kUnreachable && dist[v] >= best) {
+      best = dist[v];
+      deepest = v;
+    }
+  }
+  return {deepest};
+}
+
+}  // namespace
+
+GeaResult gea_combine(const Cfg& original, const Cfg& target) {
+  if (original.node_count() == 0 || target.node_count() == 0) {
+    throw std::invalid_argument("gea_combine: empty CFG");
+  }
+
+  graph::DiGraph g;
+  const graph::NodeId shared_entry = g.add_node();
+  const graph::NodeId original_offset = g.merge_disjoint(original.graph());
+  const graph::NodeId target_offset = g.merge_disjoint(target.graph());
+  const graph::NodeId shared_exit = g.add_node();
+
+  g.add_edge(shared_entry, original_offset + original.entry());
+  g.add_edge(shared_entry, target_offset + target.entry());
+  for (graph::NodeId v : exits_or_deepest(original)) {
+    g.add_edge(original_offset + v, shared_exit);
+  }
+  for (graph::NodeId v : exits_or_deepest(target)) {
+    g.add_edge(target_offset + v, shared_exit);
+  }
+
+  GeaResult result;
+  result.shared_entry = shared_entry;
+  result.shared_exit = shared_exit;
+  result.original_offset = original_offset;
+  result.target_offset = target_offset;
+  result.combined = Cfg(std::move(g), shared_entry);
+  return result;
+}
+
+}  // namespace soteria::cfg

@@ -1,0 +1,34 @@
+// Graph Embedding and Augmentation (GEA) — the attack Soteria defends
+// against (Abusnaina et al. [9], paper Section II-C).
+//
+// GEA merges the CFG of an original sample with the CFG of a target
+// sample drawn from the class the adversary wants to be classified as:
+// a new shared entry block branches to both sub-CFGs and a new shared
+// exit block joins their exits, so only one branch (the original code)
+// ever executes while the *structure* — and therefore every CFG-derived
+// feature — changes.
+#pragma once
+
+#include "cfg/cfg.h"
+
+namespace soteria::cfg {
+
+/// Result of a GEA combination, with the node ranges of each component
+/// exposed for tests and diagnostics.
+struct GeaResult {
+  Cfg combined;
+  graph::NodeId shared_entry = 0;
+  graph::NodeId shared_exit = 0;
+  graph::NodeId original_offset = 0;  ///< original's node k -> offset + k
+  graph::NodeId target_offset = 0;    ///< target's node k -> offset + k
+};
+
+/// Combines `original` with `target` per GEA. Throws
+/// std::invalid_argument if either CFG is empty.
+///
+/// Sub-CFGs with no natural exit (e.g. ending in an infinite loop) are
+/// joined to the shared exit from their deepest node so the combined
+/// graph always has the shared-entry/shared-exit shape of Fig. 1(c).
+[[nodiscard]] GeaResult gea_combine(const Cfg& original, const Cfg& target);
+
+}  // namespace soteria::cfg

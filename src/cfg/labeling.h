@@ -1,0 +1,56 @@
+// Consistent CFG node labeling (paper Section III-B.1).
+//
+// Soteria assigns each node a label in [0, |V|-1] under two schemes:
+//
+//  * Density-based (DBL): rank by density (in+out degree over total edge
+//    count), densest first; ties broken by centrality factor
+//    CF(v) = betweenness + closeness (higher first), then by level
+//    (shallower first), then by node id ascending ("symmetric" nodes).
+//
+//  * Level-based (LBL): rank by level (1 + BFS distance from the entry),
+//    shallowest first — so the entry always gets label 0; ties within a
+//    level broken like DBL (density, then CF, then id).
+//
+// Both schemes are strict total orders, so *any* structural modification
+// of the graph (e.g. GEA embedding) perturbs the whole label assignment,
+// which is what makes the downstream features attack-sensitive.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace soteria::cfg {
+
+/// Node label: position in [0, |V|-1].
+using Label = std::size_t;
+
+/// Which labeling scheme to apply.
+enum class LabelingMethod { kDensity, kLevel };
+
+/// Short scheme name ("DBL" / "LBL") for reports.
+[[nodiscard]] const char* method_name(LabelingMethod method) noexcept;
+
+/// Per-node ranking keys, exposed for tests and diagnostics.
+struct NodeRank {
+  double density = 0.0;
+  double centrality_factor = 0.0;
+  std::size_t level = 0;  ///< 1-based; kUnreachable if not reachable
+};
+
+/// Computes the ranking keys for every node of `cfg`.
+[[nodiscard]] std::vector<NodeRank> node_ranks(const Cfg& cfg);
+
+/// Labels all nodes under `method`. Returns labels indexed by node id:
+/// result[v] is node v's label. Throws std::invalid_argument for an
+/// empty CFG. Unreachable nodes (possible only in unpruned CFGs) sort
+/// after all reachable ones.
+[[nodiscard]] std::vector<Label> label_nodes(const Cfg& cfg,
+                                             LabelingMethod method);
+
+/// Inverse view: node id holding each label (result[label] = node).
+[[nodiscard]] std::vector<graph::NodeId> nodes_by_label(
+    const std::vector<Label>& labels);
+
+}  // namespace soteria::cfg

@@ -1,0 +1,88 @@
+#include "dataset/family_profiles.h"
+
+namespace soteria::dataset {
+
+isa::CodeGenProfile profile_for(Family family) {
+  isa::CodeGenProfile p;
+  switch (family) {
+    case Family::kBenign:
+      p.name = "benign";
+      p.min_functions = 2;
+      p.max_functions = 18;
+      p.min_constructs = 1;
+      p.max_constructs = 5;
+      p.min_straight = 1;
+      p.max_straight = 4;
+      p.straight_weight = 1.0;
+      p.branch_weight = 1.0;
+      p.loop_weight = 0.5;
+      p.switch_weight = 0.15;
+      p.min_switch_cases = 3;
+      p.max_switch_cases = 6;
+      p.nest_probability = 0.3;
+      p.max_nesting_depth = 3;
+      p.call_probability = 0.25;
+      p.early_ret_probability = 0.05;
+      break;
+    case Family::kGafgyt:
+      p.name = "gafgyt";
+      p.min_functions = 3;
+      p.max_functions = 13;
+      p.min_constructs = 1;
+      p.max_constructs = 3;
+      p.min_straight = 1;
+      p.max_straight = 3;
+      p.straight_weight = 1.2;
+      p.branch_weight = 0.8;
+      p.loop_weight = 0.25;
+      p.switch_weight = 0.35;
+      p.min_switch_cases = 3;
+      p.max_switch_cases = 8;
+      p.nest_probability = 0.15;
+      p.max_nesting_depth = 2;
+      p.call_probability = 0.4;
+      p.early_ret_probability = 0.10;
+      break;
+    case Family::kMirai:
+      p.name = "mirai";
+      p.min_functions = 2;
+      p.max_functions = 10;
+      p.min_constructs = 2;
+      p.max_constructs = 5;
+      p.min_straight = 1;
+      p.max_straight = 3;
+      p.straight_weight = 0.7;
+      p.branch_weight = 0.9;
+      p.loop_weight = 1.1;
+      p.switch_weight = 0.20;
+      p.min_switch_cases = 3;
+      p.max_switch_cases = 7;
+      p.nest_probability = 0.4;
+      p.max_nesting_depth = 3;
+      p.call_probability = 0.2;
+      p.early_ret_probability = 0.03;
+      break;
+    case Family::kTsunami:
+      p.name = "tsunami";
+      p.min_functions = 1;
+      p.max_functions = 4;
+      p.min_constructs = 1;
+      p.max_constructs = 3;
+      p.min_straight = 3;
+      p.max_straight = 8;
+      p.straight_weight = 1.3;
+      p.branch_weight = 0.5;
+      p.loop_weight = 0.3;
+      p.switch_weight = 0.9;
+      p.min_switch_cases = 6;
+      p.max_switch_cases = 14;
+      p.nest_probability = 0.1;
+      p.max_nesting_depth = 2;
+      p.call_probability = 0.15;
+      p.early_ret_probability = 0.02;
+      break;
+  }
+  return p;
+}
+
+}  // namespace soteria::dataset

@@ -1,0 +1,27 @@
+// Per-family code-generation profiles.
+//
+// Each family gets a distinct mix of control-flow idioms modelled on how
+// these botnets are actually structured:
+//   * Gafgyt  — many small bot-command handler functions behind a wide
+//               dispatcher; call-heavy, shallow bodies.
+//   * Mirai   — scanner/killer loops: fewer, larger functions dominated
+//               by (nested) loops with moderate dispatch.
+//   * Tsunami — an IRC bot: one broad command switch with mostly linear
+//               handler bodies; the smallest binaries of the three.
+//   * Benign  — diverse general-purpose utilities: balanced branching,
+//               moderate loops, broad size range.
+//
+// Soteria's features are functions of CFG shape only, so these profiles
+// are what makes the synthetic corpus learnable in the same way the real
+// corpus was (see DESIGN.md, substitutions).
+#pragma once
+
+#include "dataset/family.h"
+#include "isa/codegen.h"
+
+namespace soteria::dataset {
+
+/// The code-generation profile for `family`.
+[[nodiscard]] isa::CodeGenProfile profile_for(Family family);
+
+}  // namespace soteria::dataset

@@ -1,0 +1,22 @@
+// One corpus sample: the synthetic firmware binary, its extracted CFG,
+// and its ground-truth family.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "dataset/family.h"
+
+namespace soteria::dataset {
+
+/// One IoT sample. For GEA adversarial examples (graph-level attack)
+/// `binary` is empty and only the CFG is populated.
+struct Sample {
+  std::uint64_t id = 0;
+  Family family = Family::kBenign;
+  std::vector<std::uint8_t> binary;
+  cfg::Cfg cfg;
+};
+
+}  // namespace soteria::dataset

@@ -1,0 +1,74 @@
+#include "features/biased_walk.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soteria::features {
+
+void validate(const BiasedWalkConfig& config) {
+  if (!(config.return_parameter > 0.0) ||
+      !(config.in_out_parameter > 0.0)) {
+    throw std::invalid_argument(
+        "BiasedWalkConfig: p and q must be positive");
+  }
+}
+
+std::vector<graph::NodeId> biased_walk_nodes(const UndirectedView& view,
+                                             std::size_t steps,
+                                             const BiasedWalkConfig& config,
+                                             math::Rng& rng) {
+  validate(config);
+  std::vector<graph::NodeId> trace;
+  trace.reserve(steps + 1);
+  graph::NodeId current = view.entry();
+  trace.push_back(current);
+  bool has_previous = false;
+  graph::NodeId previous = current;
+
+  std::vector<double> weights;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const auto& nbrs = view.neighbors(current);
+    if (nbrs.empty()) {
+      trace.push_back(current);
+      continue;
+    }
+    graph::NodeId next;
+    if (!has_previous) {
+      next = nbrs[rng.index(nbrs.size())];
+    } else {
+      const auto& prev_nbrs = view.neighbors(previous);
+      weights.assign(nbrs.size(), 0.0);
+      double total = 0.0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        double w;
+        if (nbrs[i] == previous) {
+          w = 1.0 / config.return_parameter;
+        } else if (std::binary_search(prev_nbrs.begin(), prev_nbrs.end(),
+                                      nbrs[i])) {
+          w = 1.0;  // neighbours are sorted by UndirectedView
+        } else {
+          w = 1.0 / config.in_out_parameter;
+        }
+        weights[i] = w;
+        total += w;
+      }
+      double pick = rng.uniform(0.0, total);
+      std::size_t chosen = nbrs.size() - 1;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        pick -= weights[i];
+        if (pick < 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+      next = nbrs[chosen];
+    }
+    previous = current;
+    has_previous = true;
+    current = next;
+    trace.push_back(current);
+  }
+  return trace;
+}
+
+}  // namespace soteria::features

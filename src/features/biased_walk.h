@@ -1,0 +1,37 @@
+// node2vec-style biased random walks (Grover & Leskovec), the method
+// the paper's feature design is "inspired by" ([27]).
+//
+// A second-order walk: stepping from t to v, the next neighbour x is
+// weighted by
+//   1/p  if x == t            (return parameter)
+//   1    if dist(t, x) == 1   (stay near)
+//   1/q  otherwise            (in-out parameter)
+// p = q = 1 degenerates to the paper's uniform walk. Exposed as an
+// optional extension so the BFS-ish (q > 1) / DFS-ish (q < 1)
+// exploration trade-off can be studied on CFG features.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "features/random_walk.h"
+
+namespace soteria::features {
+
+/// node2vec bias parameters.
+struct BiasedWalkConfig {
+  double return_parameter = 1.0;  ///< p
+  double in_out_parameter = 1.0;  ///< q
+};
+
+/// Throws std::invalid_argument for non-positive p or q.
+void validate(const BiasedWalkConfig& config);
+
+/// One biased walk of `steps` steps from the entry node; returns the
+/// visited node sequence (length steps+1). With p = q = 1 the
+/// distribution matches `random_walk_nodes`.
+[[nodiscard]] std::vector<graph::NodeId> biased_walk_nodes(
+    const UndirectedView& view, std::size_t steps,
+    const BiasedWalkConfig& config, math::Rng& rng);
+
+}  // namespace soteria::features

@@ -1,0 +1,87 @@
+#include "features/ngram.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace soteria::features {
+
+namespace {
+
+constexpr std::uint64_t kLabelBits = 14;
+constexpr std::uint64_t kLabelMask = (1ULL << kLabelBits) - 1;
+constexpr std::uint64_t kLengthShift = kLabelBits * kMaxGramLength;  // 56
+
+}  // namespace
+
+GramKey pack_gram(std::span<const cfg::Label> labels) {
+  if (labels.empty() || labels.size() > kMaxGramLength) {
+    throw std::invalid_argument("pack_gram: gram length " +
+                                std::to_string(labels.size()) +
+                                " outside [1, " +
+                                std::to_string(kMaxGramLength) + "]");
+  }
+  GramKey key = static_cast<std::uint64_t>(labels.size()) << kLengthShift;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] > kMaxGramLabel) {
+      throw std::invalid_argument("pack_gram: label " +
+                                  std::to_string(labels[i]) +
+                                  " exceeds kMaxGramLabel");
+    }
+    key |= static_cast<std::uint64_t>(labels[i]) << (kLabelBits * i);
+  }
+  return key;
+}
+
+std::vector<cfg::Label> unpack_gram(GramKey key) {
+  const std::size_t len = gram_length(key);
+  std::vector<cfg::Label> labels(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    labels[i] = static_cast<cfg::Label>((key >> (kLabelBits * i)) &
+                                        kLabelMask);
+  }
+  return labels;
+}
+
+std::size_t gram_length(GramKey key) noexcept {
+  return static_cast<std::size_t>(key >> kLengthShift);
+}
+
+void count_grams(std::span<const cfg::Label> walk,
+                 std::span<const std::size_t> sizes, GramCounts& counts) {
+  for (std::size_t n : sizes) {
+    if (n == 0 || n > kMaxGramLength) {
+      throw std::invalid_argument("count_grams: gram size " +
+                                  std::to_string(n) + " outside [1, " +
+                                  std::to_string(kMaxGramLength) + "]");
+    }
+    if (walk.size() < n) continue;
+    for (std::size_t i = 0; i + n <= walk.size(); ++i) {
+      counts[pack_gram(walk.subspan(i, n))] += 1;
+    }
+  }
+}
+
+GramCounts count_grams(const std::vector<std::vector<cfg::Label>>& walks,
+                       std::span<const std::size_t> sizes) {
+  GramCounts counts;
+  for (const auto& walk : walks) count_grams(walk, sizes, counts);
+  return counts;
+}
+
+std::uint64_t total_occurrences(const GramCounts& counts) {
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : counts) total += count;
+  return total;
+}
+
+std::string gram_to_string(GramKey key) {
+  const auto labels = unpack_gram(key);
+  std::string text;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) text += '-';
+    text += std::to_string(labels[i]);
+  }
+  return text;
+}
+
+}  // namespace soteria::features

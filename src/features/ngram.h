@@ -1,0 +1,58 @@
+// n-gram extraction over random-walk label traces.
+//
+// Grams of length 2, 3 and 4 (paper default) are packed into a single
+// 64-bit key: 4 x 14-bit labels + a length tag. Packing keeps gram
+// counting allocation-free in the hot loop and makes vocabulary lookup a
+// single hash probe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/labeling.h"
+
+namespace soteria::features {
+
+/// Packed n-gram identity.
+using GramKey = std::uint64_t;
+
+/// Gram occurrence counts.
+using GramCounts = std::unordered_map<GramKey, std::uint32_t>;
+
+/// Largest label a gram can carry (14 bits per label).
+inline constexpr cfg::Label kMaxGramLabel = (1U << 14) - 1;
+
+/// Longest supported gram.
+inline constexpr std::size_t kMaxGramLength = 4;
+
+/// Packs `labels` (1..4 entries, each <= kMaxGramLabel) into a key.
+/// Throws std::invalid_argument on violation.
+[[nodiscard]] GramKey pack_gram(std::span<const cfg::Label> labels);
+
+/// Reverses pack_gram.
+[[nodiscard]] std::vector<cfg::Label> unpack_gram(GramKey key);
+
+/// Gram length stored in a key.
+[[nodiscard]] std::size_t gram_length(GramKey key) noexcept;
+
+/// Counts all grams of each size in `sizes` over one walk trace,
+/// accumulating into `counts`. Throws std::invalid_argument for a size
+/// of 0 or > kMaxGramLength.
+void count_grams(std::span<const cfg::Label> walk,
+                 std::span<const std::size_t> sizes, GramCounts& counts);
+
+/// Convenience: counts over many walks into a fresh map.
+[[nodiscard]] GramCounts count_grams(
+    const std::vector<std::vector<cfg::Label>>& walks,
+    std::span<const std::size_t> sizes);
+
+/// Total number of gram occurrences recorded in `counts`.
+[[nodiscard]] std::uint64_t total_occurrences(const GramCounts& counts);
+
+/// Human-readable gram, e.g. "3-1-4".
+[[nodiscard]] std::string gram_to_string(GramKey key);
+
+}  // namespace soteria::features

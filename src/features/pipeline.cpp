@@ -1,0 +1,159 @@
+#include "features/pipeline.h"
+
+#include <stdexcept>
+
+#include "io/binary_io.h"
+
+namespace soteria::features {
+
+void validate(const PipelineConfig& config) {
+  validate(config.walk);
+  if (config.top_k == 0) {
+    throw std::invalid_argument("PipelineConfig: top_k must be > 0");
+  }
+  if (config.gram_sizes.empty()) {
+    throw std::invalid_argument("PipelineConfig: no gram sizes");
+  }
+  for (std::size_t n : config.gram_sizes) {
+    if (n == 0 || n > kMaxGramLength) {
+      throw std::invalid_argument("PipelineConfig: gram size " +
+                                  std::to_string(n) + " outside [1, " +
+                                  std::to_string(kMaxGramLength) + "]");
+    }
+  }
+}
+
+std::vector<float> SampleFeatures::combined(std::size_t walk) const {
+  if (walk >= dbl.size() || walk >= lbl.size()) {
+    throw std::out_of_range("SampleFeatures::combined: walk index " +
+                            std::to_string(walk));
+  }
+  std::vector<float> vec = dbl[walk];
+  vec.insert(vec.end(), lbl[walk].begin(), lbl[walk].end());
+  return vec;
+}
+
+namespace {
+
+std::vector<float> mean_of(const std::vector<std::vector<float>>& vecs) {
+  if (vecs.empty()) return {};
+  std::vector<float> mean(vecs.front().size(), 0.0F);
+  for (const auto& v : vecs) {
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += v[i];
+  }
+  const auto inv = 1.0F / static_cast<float>(vecs.size());
+  for (float& x : mean) x *= inv;
+  return mean;
+}
+
+}  // namespace
+
+std::vector<float> SampleFeatures::mean_dbl() const { return mean_of(dbl); }
+std::vector<float> SampleFeatures::mean_lbl() const { return mean_of(lbl); }
+
+std::vector<float> SampleFeatures::mean_combined() const {
+  std::vector<float> mean = mean_dbl();
+  const auto lbl_mean = mean_lbl();
+  mean.insert(mean.end(), lbl_mean.begin(), lbl_mean.end());
+  return mean;
+}
+
+std::vector<float> SampleFeatures::pooled_combined() const {
+  std::vector<float> vec = pooled_dbl;
+  vec.insert(vec.end(), pooled_lbl.begin(), pooled_lbl.end());
+  return vec;
+}
+
+GramCounts FeaturePipeline::gram_counts(const cfg::Cfg& cfg,
+                                        cfg::LabelingMethod method,
+                                        math::Rng& rng) const {
+  const auto labels = cfg::label_nodes(cfg, method);
+  const auto walks = labeled_walks(cfg, labels, config_.walk, rng);
+  return count_grams(walks, config_.gram_sizes);
+}
+
+FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
+                                     const PipelineConfig& config,
+                                     math::Rng& rng) {
+  validate(config);
+  if (training.empty()) {
+    throw std::invalid_argument("FeaturePipeline::fit: empty corpus");
+  }
+  FeaturePipeline pipeline;
+  pipeline.config_ = config;
+
+  std::vector<GramCounts> dbl_corpus;
+  std::vector<GramCounts> lbl_corpus;
+  dbl_corpus.reserve(training.size());
+  lbl_corpus.reserve(training.size());
+  for (const auto& cfg : training) {
+    dbl_corpus.push_back(
+        pipeline.gram_counts(cfg, cfg::LabelingMethod::kDensity, rng));
+    lbl_corpus.push_back(
+        pipeline.gram_counts(cfg, cfg::LabelingMethod::kLevel, rng));
+  }
+  pipeline.dbl_vocab_ = Vocabulary::build(dbl_corpus, config.top_k);
+  pipeline.lbl_vocab_ = Vocabulary::build(lbl_corpus, config.top_k);
+  return pipeline;
+}
+
+SampleFeatures FeaturePipeline::extract(const cfg::Cfg& cfg,
+                                        math::Rng& rng) const {
+  SampleFeatures features;
+  const auto dbl_labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kDensity);
+  const auto lbl_labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kLevel);
+
+  const auto dbl_walks = labeled_walks(cfg, dbl_labels, config_.walk, rng);
+  const auto lbl_walks = labeled_walks(cfg, lbl_labels, config_.walk, rng);
+
+  GramCounts dbl_pooled;
+  features.dbl.reserve(dbl_walks.size());
+  for (const auto& walk : dbl_walks) {
+    GramCounts counts;
+    count_grams(walk, config_.gram_sizes, counts);
+    for (const auto& [key, count] : counts) dbl_pooled[key] += count;
+    features.dbl.push_back(
+        dbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
+  }
+  GramCounts lbl_pooled;
+  features.lbl.reserve(lbl_walks.size());
+  for (const auto& walk : lbl_walks) {
+    GramCounts counts;
+    count_grams(walk, config_.gram_sizes, counts);
+    for (const auto& [key, count] : counts) lbl_pooled[key] += count;
+    features.lbl.push_back(
+        lbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
+  }
+  features.pooled_dbl =
+      dbl_vocab_.tfidf_vector(dbl_pooled, config_.l2_normalize);
+  features.pooled_lbl =
+      lbl_vocab_.tfidf_vector(lbl_pooled, config_.l2_normalize);
+  return features;
+}
+
+void FeaturePipeline::save(std::ostream& out) const {
+  io::write_scalar(out, config_.walk.length_multiplier);
+  io::write_scalar<std::uint64_t>(out, config_.walk.walks_per_labeling);
+  io::write_scalar<std::uint64_t>(out, config_.top_k);
+  io::write_vector<std::size_t>(out, config_.gram_sizes);
+  io::write_scalar<std::uint8_t>(out, config_.l2_normalize ? 1 : 0);
+  dbl_vocab_.save(out);
+  lbl_vocab_.save(out);
+}
+
+FeaturePipeline FeaturePipeline::load(std::istream& in) {
+  FeaturePipeline pipeline;
+  pipeline.config_.walk.length_multiplier = io::read_scalar<double>(in);
+  pipeline.config_.walk.walks_per_labeling =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  pipeline.config_.top_k =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  pipeline.config_.gram_sizes = io::read_vector<std::size_t>(in);
+  pipeline.config_.l2_normalize = io::read_scalar<std::uint8_t>(in) != 0;
+  validate(pipeline.config_);
+  pipeline.dbl_vocab_ = Vocabulary::load(in);
+  pipeline.lbl_vocab_ = Vocabulary::load(in);
+  return pipeline;
+}
+
+}  // namespace soteria::features

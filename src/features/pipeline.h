@@ -1,0 +1,121 @@
+// End-to-end feature extraction (paper Fig. 3):
+//   CFG -> {DBL, LBL} labelings -> 10 random walks each ->
+//   {2,3,4}-grams -> TF-IDF against a top-500 vocabulary per labeling.
+//
+// `fit()` learns the two vocabularies from a training corpus;
+// `extract()` then turns any CFG into:
+//   * 10 per-walk 1x500 DBL vectors and 10 per-walk 1x500 LBL vectors
+//     (the classifier's voting inputs), and
+//   * 10 combined 1x1000 vectors (walk i's DBL ++ LBL), the detector's
+//     autoencoder inputs.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "cfg/labeling.h"
+#include "features/random_walk.h"
+#include "features/vocabulary.h"
+#include "math/rng.h"
+
+namespace soteria::features {
+
+/// Pipeline hyper-parameters (paper defaults).
+struct PipelineConfig {
+  WalkConfig walk;
+  std::size_t top_k = 500;                    ///< grams kept per labeling
+  std::vector<std::size_t> gram_sizes = {2, 3, 4};
+  /// L2-normalize TF-IDF vectors. Disabling keeps each sample's
+  /// in-vocabulary mass fraction, which GEA merges shift measurably.
+  bool l2_normalize = true;
+};
+
+/// Throws std::invalid_argument for invalid walk config, zero top_k, or
+/// unsupported gram sizes.
+void validate(const PipelineConfig& config);
+
+/// Feature bundle for one sample.
+struct SampleFeatures {
+  /// Per-walk TF-IDF vectors; size == walks_per_labeling, each of
+  /// dimension vocabulary size (<= top_k). The classifier CNNs vote
+  /// over these.
+  std::vector<std::vector<float>> dbl;
+  std::vector<std::vector<float>> lbl;
+
+  /// TF-IDF over the gram counts of *all* walks pooled, one vector per
+  /// labeling — the stable per-sample representation the detector's
+  /// autoencoder consumes (per-walk vectors are too noisy to define a
+  /// reconstruction manifold).
+  std::vector<float> pooled_dbl;
+  std::vector<float> pooled_lbl;
+
+  /// walk i's DBL vector concatenated with walk i's LBL vector.
+  [[nodiscard]] std::vector<float> combined(std::size_t walk) const;
+
+  /// pooled_dbl ++ pooled_lbl: the 1x1000 detector input (paper Fig. 5).
+  [[nodiscard]] std::vector<float> pooled_combined() const;
+
+  /// Mean of all per-walk combined vectors (used for PCA plots).
+  [[nodiscard]] std::vector<float> mean_combined() const;
+
+  /// Mean per-labeling vectors.
+  [[nodiscard]] std::vector<float> mean_dbl() const;
+  [[nodiscard]] std::vector<float> mean_lbl() const;
+};
+
+/// Fitted feature extractor.
+class FeaturePipeline {
+ public:
+  /// Learns DBL and LBL vocabularies from `training` CFGs. Walks during
+  /// fitting draw from `rng`. Throws on empty corpus or bad config.
+  static FeaturePipeline fit(std::span<const cfg::Cfg> training,
+                             const PipelineConfig& config, math::Rng& rng);
+
+  /// Extracts the full feature bundle for one CFG. Each call draws
+  /// fresh walks from `rng` — this is Soteria's randomization property:
+  /// two extractions of the same sample yield different (but similarly
+  /// distributed) vectors.
+  [[nodiscard]] SampleFeatures extract(const cfg::Cfg& cfg,
+                                       math::Rng& rng) const;
+
+  [[nodiscard]] const Vocabulary& dbl_vocabulary() const noexcept {
+    return dbl_vocab_;
+  }
+  [[nodiscard]] const Vocabulary& lbl_vocabulary() const noexcept {
+    return lbl_vocab_;
+  }
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Combined feature dimension (DBL size + LBL size; 1000 with paper
+  /// defaults and a large enough corpus).
+  [[nodiscard]] std::size_t combined_dimension() const noexcept {
+    return dbl_vocab_.size() + lbl_vocab_.size();
+  }
+
+  /// Raw gram counts for one labeling of one CFG (all walks pooled);
+  /// exposed for vocabulary building and the Table V analysis.
+  [[nodiscard]] GramCounts gram_counts(const cfg::Cfg& cfg,
+                                       cfg::LabelingMethod method,
+                                       math::Rng& rng) const;
+
+  /// Default-constructed unfitted pipeline (empty vocabularies); a
+  /// placeholder until assigned from fit().
+  FeaturePipeline() = default;
+
+  /// Binary (de)serialization of the config and both vocabularies.
+  /// `load` throws std::runtime_error on a corrupt stream.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static FeaturePipeline load(std::istream& in);
+
+ private:
+  PipelineConfig config_;
+  Vocabulary dbl_vocab_;
+  Vocabulary lbl_vocab_;
+};
+
+}  // namespace soteria::features

@@ -1,0 +1,75 @@
+#include "features/random_walk.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soteria::features {
+
+UndirectedView::UndirectedView(const cfg::Cfg& cfg) : entry_(cfg.entry()) {
+  if (cfg.node_count() == 0) {
+    throw std::invalid_argument("UndirectedView: empty CFG");
+  }
+  adjacency_.resize(cfg.node_count());
+  for (graph::NodeId v = 0; v < cfg.node_count(); ++v) {
+    adjacency_[v] = cfg.graph().undirected_neighbors(v);
+  }
+}
+
+void validate(const WalkConfig& config) {
+  if (!(config.length_multiplier > 0.0)) {
+    throw std::invalid_argument(
+        "WalkConfig: length_multiplier must be positive");
+  }
+  if (config.walks_per_labeling == 0) {
+    throw std::invalid_argument(
+        "WalkConfig: walks_per_labeling must be positive");
+  }
+}
+
+std::vector<graph::NodeId> random_walk_nodes(const UndirectedView& view,
+                                             std::size_t steps,
+                                             math::Rng& rng) {
+  std::vector<graph::NodeId> trace;
+  trace.reserve(steps + 1);
+  graph::NodeId current = view.entry();
+  trace.push_back(current);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto& nbrs = view.neighbors(current);
+    if (!nbrs.empty()) {
+      current = nbrs[rng.index(nbrs.size())];
+    }
+    trace.push_back(current);
+  }
+  return trace;
+}
+
+std::vector<cfg::Label> apply_labels(
+    const std::vector<graph::NodeId>& nodes,
+    const std::vector<cfg::Label>& labels) {
+  std::vector<cfg::Label> out;
+  out.reserve(nodes.size());
+  for (graph::NodeId v : nodes) {
+    if (v >= labels.size()) {
+      throw std::out_of_range("apply_labels: node id beyond label table");
+    }
+    out.push_back(labels[v]);
+  }
+  return out;
+}
+
+std::vector<std::vector<cfg::Label>> labeled_walks(
+    const cfg::Cfg& cfg, const std::vector<cfg::Label>& labels,
+    const WalkConfig& config, math::Rng& rng) {
+  validate(config);
+  const UndirectedView view(cfg);
+  const auto steps = static_cast<std::size_t>(std::llround(
+      config.length_multiplier * static_cast<double>(cfg.node_count())));
+  std::vector<std::vector<cfg::Label>> walks;
+  walks.reserve(config.walks_per_labeling);
+  for (std::size_t w = 0; w < config.walks_per_labeling; ++w) {
+    walks.push_back(apply_labels(random_walk_nodes(view, steps, rng), labels));
+  }
+  return walks;
+}
+
+}  // namespace soteria::features

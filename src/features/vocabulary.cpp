@@ -1,0 +1,105 @@
+#include "features/vocabulary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "io/binary_io.h"
+
+namespace soteria::features {
+
+Vocabulary Vocabulary::build(const std::vector<GramCounts>& corpus,
+                             std::size_t top_k) {
+  if (corpus.empty()) {
+    throw std::invalid_argument("Vocabulary::build: empty corpus");
+  }
+  if (top_k == 0) {
+    throw std::invalid_argument("Vocabulary::build: top_k must be > 0");
+  }
+
+  std::unordered_map<GramKey, std::uint64_t> totals;
+  std::unordered_map<GramKey, std::uint64_t> document_frequency;
+  for (const auto& sample : corpus) {
+    for (const auto& [key, count] : sample) {
+      totals[key] += count;
+      document_frequency[key] += 1;
+    }
+  }
+
+  std::vector<std::pair<GramKey, std::uint64_t>> ranked(totals.begin(),
+                                                        totals.end());
+  const std::size_t keep = std::min(top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  ranked.resize(keep);
+
+  Vocabulary vocab;
+  vocab.grams_.reserve(keep);
+  vocab.frequencies_.reserve(keep);
+  vocab.idf_.reserve(keep);
+  const double n_docs = static_cast<double>(corpus.size());
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto [key, total] = ranked[i];
+    vocab.grams_.push_back(key);
+    vocab.frequencies_.push_back(total);
+    const double df = static_cast<double>(document_frequency[key]);
+    vocab.idf_.push_back(std::log((1.0 + n_docs) / (1.0 + df)) + 1.0);
+    vocab.index_.emplace(key, i);
+  }
+  return vocab;
+}
+
+std::optional<std::size_t> Vocabulary::index_of(GramKey key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<float> Vocabulary::tfidf_vector(const GramCounts& counts,
+                                            bool l2_normalize) const {
+  std::vector<float> vec(grams_.size(), 0.0F);
+  const auto total = static_cast<double>(total_occurrences(counts));
+  if (total == 0.0) return vec;
+  for (const auto& [key, count] : counts) {
+    const auto idx = index_of(key);
+    if (!idx.has_value()) continue;
+    const double tf = static_cast<double>(count) / total;
+    vec[*idx] = static_cast<float>(tf * idf_[*idx]);
+  }
+  if (l2_normalize) {
+    double norm = 0.0;
+    for (float x : vec) norm += static_cast<double>(x) * x;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      const auto inv = static_cast<float>(1.0 / norm);
+      for (float& x : vec) x *= inv;
+    }
+  }
+  return vec;
+}
+
+void Vocabulary::save(std::ostream& out) const {
+  io::write_vector(out, grams_);
+  io::write_vector(out, frequencies_);
+  io::write_vector(out, idf_);
+}
+
+Vocabulary Vocabulary::load(std::istream& in) {
+  Vocabulary vocab;
+  vocab.grams_ = io::read_vector<GramKey>(in);
+  vocab.frequencies_ = io::read_vector<std::uint64_t>(in);
+  vocab.idf_ = io::read_vector<double>(in);
+  if (vocab.frequencies_.size() != vocab.grams_.size() ||
+      vocab.idf_.size() != vocab.grams_.size()) {
+    throw std::runtime_error("Vocabulary::load: inconsistent table sizes");
+  }
+  for (std::size_t i = 0; i < vocab.grams_.size(); ++i) {
+    vocab.index_.emplace(vocab.grams_[i], i);
+  }
+  return vocab;
+}
+
+}  // namespace soteria::features

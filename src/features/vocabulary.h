@@ -1,0 +1,78 @@
+// Corpus vocabulary: the top-k most frequent grams plus their inverse
+// document frequencies.
+//
+// The paper keeps the 500 most frequent grams per labeling method and
+// weights counts with TF-IDF, so a sample's feature vector is
+// tf(g, sample) * idf(g, corpus) over the selected grams.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "features/ngram.h"
+
+namespace soteria::features {
+
+/// Fitted vocabulary for one labeling method.
+class Vocabulary {
+ public:
+  /// Builds the vocabulary from per-sample gram counts. Selects the
+  /// `top_k` grams by total corpus frequency (ties broken by key for
+  /// determinism) and computes smoothed IDF:
+  ///   idf(g) = ln((1 + N) / (1 + df(g))) + 1.
+  /// Keeps fewer than top_k grams if the corpus has fewer distinct
+  /// grams. Throws std::invalid_argument for an empty corpus or top_k
+  /// of 0.
+  static Vocabulary build(const std::vector<GramCounts>& corpus,
+                          std::size_t top_k);
+
+  /// Number of selected grams (the feature dimension).
+  [[nodiscard]] std::size_t size() const noexcept { return grams_.size(); }
+
+  /// Feature index of `key`, or nullopt if not selected.
+  [[nodiscard]] std::optional<std::size_t> index_of(GramKey key) const;
+
+  /// Selected grams in feature-index order (most frequent first).
+  [[nodiscard]] const std::vector<GramKey>& grams() const noexcept {
+    return grams_;
+  }
+
+  /// Corpus-wide occurrence count per selected gram (index order).
+  [[nodiscard]] const std::vector<std::uint64_t>& frequencies()
+      const noexcept {
+    return frequencies_;
+  }
+
+  /// Smoothed IDF per selected gram (index order).
+  [[nodiscard]] const std::vector<double>& idf() const noexcept {
+    return idf_;
+  }
+
+  /// TF-IDF feature vector for one bag of gram counts. Dimension ==
+  /// size(). Unselected grams are ignored. With `l2_normalize` the
+  /// vector is scaled to unit norm; without it, term frequencies stay
+  /// relative to the sample's total gram count, so the in-vocabulary
+  /// mass fraction (which structural attacks shift) remains visible.
+  [[nodiscard]] std::vector<float> tfidf_vector(
+      const GramCounts& counts, bool l2_normalize = true) const;
+
+  /// Default-constructed empty vocabulary (no grams selected); useful as
+  /// a placeholder before fitting.
+  Vocabulary() = default;
+
+  /// Binary (de)serialization. `load` throws std::runtime_error on a
+  /// corrupt or truncated stream.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static Vocabulary load(std::istream& in);
+
+ private:
+  std::vector<GramKey> grams_;
+  std::vector<std::uint64_t> frequencies_;
+  std::vector<double> idf_;
+  std::unordered_map<GramKey, std::size_t> index_;
+};
+
+}  // namespace soteria::features

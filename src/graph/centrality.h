@@ -1,0 +1,32 @@
+// Betweenness and closeness centrality (Brandes' algorithm + BFS).
+//
+// Soteria's labeling breaks density ties with the *centrality factor*
+// CF(v) = betweenness(v) + closeness(v) (paper, Section III-B.1). We
+// compute both over the undirected view of the CFG: a CFG is weakly
+// connected from its entry, so the undirected view gives every node a
+// finite closeness and makes the tie-break total.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace soteria::graph {
+
+/// Normalized betweenness centrality over the undirected view:
+/// B(v) = (# shortest paths through v) / (total # shortest paths between
+/// distinct pairs), matching the paper's Delta(v)/Delta(m) definition.
+/// Returns one value per node; all zeros for graphs with < 3 nodes.
+[[nodiscard]] std::vector<double> betweenness_centrality(const DiGraph& g);
+
+/// Closeness centrality over the undirected view:
+/// C(v) = (reachable_count - 1) / sum of distances to reachable nodes,
+/// 0 for isolated nodes. Higher = more central (the reciprocal of the
+/// paper's "average shortest path" phrasing, oriented so that larger CF
+/// means more central, as the paper's labeling examples require).
+[[nodiscard]] std::vector<double> closeness_centrality(const DiGraph& g);
+
+/// CF(v) = betweenness(v) + closeness(v).
+[[nodiscard]] std::vector<double> centrality_factor(const DiGraph& g);
+
+}  // namespace soteria::graph

@@ -1,0 +1,139 @@
+#include "graph/dominators.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace soteria::graph {
+
+namespace {
+
+/// Reverse-postorder of the nodes reachable from `entry`.
+std::vector<NodeId> reverse_postorder(const DiGraph& g, NodeId entry) {
+  std::vector<NodeId> order;
+  std::vector<std::uint8_t> state(g.node_count(), 0);  // 0/1/2
+  // Iterative DFS with an explicit stack of (node, next-child) frames.
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(entry, 0);
+  state[entry] = 1;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const auto succ = g.successors(node);
+    if (next < succ.size()) {
+      const NodeId child = succ[next++];
+      if (state[child] == 0) {
+        state[child] = 1;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      state[node] = 2;
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> immediate_dominators(const DiGraph& g, NodeId entry) {
+  if (g.empty()) {
+    throw std::invalid_argument("immediate_dominators: empty graph");
+  }
+  if (entry >= g.node_count()) {
+    throw std::out_of_range("immediate_dominators: entry out of range");
+  }
+
+  const auto order = reverse_postorder(g, entry);
+  std::vector<std::size_t> position(g.node_count(),
+                                    static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+
+  std::vector<NodeId> idom(g.node_count(), kNoDominator);
+  idom[entry] = entry;
+
+  // Cooper-Harvey-Kennedy: intersect along the idom chains using
+  // reverse-postorder positions until a fixed point.
+  const auto intersect = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      while (position[a] > position[b]) a = idom[a];
+      while (position[b] > position[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId node : order) {
+      if (node == entry) continue;
+      NodeId new_idom = kNoDominator;
+      for (NodeId pred : g.predecessors(node)) {
+        if (idom[pred] == kNoDominator) continue;  // not processed yet
+        new_idom = new_idom == kNoDominator ? pred
+                                            : intersect(pred, new_idom);
+      }
+      if (new_idom != kNoDominator && idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool dominates(const std::vector<NodeId>& idom, NodeId a, NodeId b) {
+  if (b >= idom.size() || a >= idom.size()) {
+    throw std::out_of_range("dominates: node out of range");
+  }
+  if (idom[b] == kNoDominator) return false;  // unreachable
+  NodeId walk = b;
+  while (true) {
+    if (walk == a) return true;
+    if (idom[walk] == walk) return false;  // reached the entry
+    walk = idom[walk];
+  }
+}
+
+std::vector<NaturalLoop> natural_loops(const DiGraph& g, NodeId entry) {
+  const auto idom = immediate_dominators(g, entry);
+  std::vector<NaturalLoop> loops;
+  for (const auto& [u, h] : g.edges()) {
+    if (idom[u] == kNoDominator || idom[h] == kNoDominator) continue;
+    if (!dominates(idom, h, u)) continue;  // not a back edge
+
+    NaturalLoop loop;
+    loop.header = h;
+    // Body: h, u, and everything that reaches u without passing h.
+    std::vector<bool> in_body(g.node_count(), false);
+    in_body[h] = true;
+    std::deque<NodeId> work;
+    if (!in_body[u]) {
+      in_body[u] = true;
+      work.push_back(u);
+    }
+    while (!work.empty()) {
+      const NodeId node = work.front();
+      work.pop_front();
+      for (NodeId pred : g.predecessors(node)) {
+        if (!in_body[pred] && idom[pred] != kNoDominator) {
+          in_body[pred] = true;
+          work.push_back(pred);
+        }
+      }
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (in_body[v]) loop.body.push_back(v);
+    }
+    loops.push_back(std::move(loop));
+  }
+  std::sort(loops.begin(), loops.end(),
+            [](const NaturalLoop& a, const NaturalLoop& b) {
+              if (a.header != b.header) return a.header < b.header;
+              return a.body < b.body;
+            });
+  return loops;
+}
+
+}  // namespace soteria::graph

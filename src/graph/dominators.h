@@ -1,0 +1,44 @@
+// Dominator analysis and natural-loop detection on CFGs.
+//
+// Classic compiler-style analyses a CFG library is expected to ship:
+// immediate dominators (Cooper-Harvey-Kennedy iterative algorithm) and
+// natural loops (back edges u -> h where h dominates u, plus the loop
+// body reachable backwards from u without passing h). Used by tests to
+// characterize generated firmware and available to downstream users for
+// richer structural features.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace soteria::graph {
+
+/// Sentinel for "no immediate dominator" (unreachable nodes) in idom
+/// arrays; the entry node's idom is itself.
+inline constexpr NodeId kNoDominator = static_cast<NodeId>(-1);
+
+/// Immediate dominators of every node w.r.t. `entry`. idom[entry] ==
+/// entry; unreachable nodes get kNoDominator. Throws std::out_of_range
+/// for an invalid entry, std::invalid_argument for an empty graph.
+[[nodiscard]] std::vector<NodeId> immediate_dominators(const DiGraph& g,
+                                                       NodeId entry);
+
+/// True if `a` dominates `b` under the given idom array (reflexive).
+[[nodiscard]] bool dominates(const std::vector<NodeId>& idom, NodeId a,
+                             NodeId b);
+
+/// One natural loop: its header and its body (header included).
+struct NaturalLoop {
+  NodeId header = 0;
+  std::vector<NodeId> body;  ///< sorted, includes the header
+};
+
+/// All natural loops of `g` w.r.t. `entry`, one per back edge, ordered
+/// by (header, back-edge source). Irreducible cycles (no dominating
+/// header) are not reported — exactly the compiler-textbook definition.
+[[nodiscard]] std::vector<NaturalLoop> natural_loops(const DiGraph& g,
+                                                     NodeId entry);
+
+}  // namespace soteria::graph

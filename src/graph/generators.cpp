@@ -1,0 +1,59 @@
+#include "graph/generators.h"
+
+#include <stdexcept>
+
+namespace soteria::graph {
+
+DiGraph random_connected_dag_plus(std::size_t n, double p, math::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("random graph: n must be > 0");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("random graph: p outside [0,1]");
+  DiGraph g(n);
+  // Spanning structure: each node v > 0 gets one parent among [0, v).
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent = rng.index(v);
+    g.add_edge(parent, v);
+  }
+  // Extra random edges.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+DiGraph chain_graph(std::size_t n, std::size_t back_edges, math::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("chain graph: n must be > 0");
+  DiGraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  for (std::size_t i = 0; i < back_edges && n > 1; ++i) {
+    const NodeId from = 1 + rng.index(n - 1);
+    const NodeId to = rng.index(from);
+    g.add_edge(from, to);
+  }
+  return g;
+}
+
+DiGraph binary_tree(std::size_t depth) {
+  const std::size_t n = (std::size_t{1} << (depth + 1)) - 1;
+  DiGraph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId left = 2 * v + 1;
+    const NodeId right = 2 * v + 2;
+    if (left < n) g.add_edge(v, left);
+    if (right < n) g.add_edge(v, right);
+  }
+  return g;
+}
+
+DiGraph complete_digraph(std::size_t n) {
+  DiGraph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = 0; v < n; ++v)
+      if (u != v) g.add_edge(u, v);
+  return g;
+}
+
+}  // namespace soteria::graph

@@ -1,0 +1,35 @@
+// Random graph generators for tests and micro-benchmarks.
+//
+// These produce structured directed graphs with known invariants
+// (connectivity from node 0, bounded degree) so property tests can
+// exercise labeling/walk code on shapes beyond what the ISA code
+// generator emits.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "math/rng.h"
+
+namespace soteria::graph {
+
+/// Erdos-Renyi-style G(n, p) digraph (no self loops). Node 0 is wired to
+/// be an entry: every node is made reachable from 0 by adding a spanning
+/// arborescence first.
+[[nodiscard]] DiGraph random_connected_dag_plus(std::size_t n, double p,
+                                                math::Rng& rng);
+
+/// A chain 0 -> 1 -> ... -> n-1 with optional extra back edges, useful
+/// for level-labeling tests.
+[[nodiscard]] DiGraph chain_graph(std::size_t n, std::size_t back_edges,
+                                  math::Rng& rng);
+
+/// Balanced binary in-tree rooted at node 0 (edges parent -> children),
+/// i.e. a CFG-like branching structure of the given depth.
+[[nodiscard]] DiGraph binary_tree(std::size_t depth);
+
+/// Complete directed graph on n nodes (every ordered pair, no self
+/// loops).
+[[nodiscard]] DiGraph complete_digraph(std::size_t n);
+
+}  // namespace soteria::graph

@@ -1,0 +1,93 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/centrality.h"
+#include "graph/traversal.h"
+#include "math/stats.h"
+
+namespace soteria::graph {
+
+GraphProperties graph_properties(const DiGraph& g) {
+  GraphProperties p;
+  p.node_count = g.node_count();
+  p.edge_count = g.edge_count();
+  const auto n = static_cast<double>(p.node_count);
+  if (p.node_count > 1) {
+    p.density = static_cast<double>(p.edge_count) / (n * (n - 1.0));
+  }
+
+  std::vector<double> degrees(p.node_count);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    degrees[v] = static_cast<double>(g.total_degree(v));
+    if (g.out_degree(v) == 0) ++p.leaf_count;
+    if (g.out_degree(v) >= 2) ++p.branch_count;
+  }
+  if (!degrees.empty()) {
+    p.mean_degree = math::mean(degrees);
+    p.max_degree = *std::max_element(degrees.begin(), degrees.end());
+    p.degree_stddev = math::stddev(degrees);
+  }
+
+  const auto betweenness = betweenness_centrality(g);
+  const auto closeness = closeness_centrality(g);
+  if (!betweenness.empty()) {
+    p.mean_betweenness = math::mean(betweenness);
+    p.max_betweenness =
+        *std::max_element(betweenness.begin(), betweenness.end());
+    p.mean_closeness = math::mean(closeness);
+    p.max_closeness = *std::max_element(closeness.begin(), closeness.end());
+  }
+
+  // Directed shortest-path statistics and back-edge census.
+  double path_sum = 0.0;
+  std::size_t path_count = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto dist = bfs_distances(g, s);
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (t == s || dist[t] == kUnreachable) continue;
+      path_sum += static_cast<double>(dist[t]);
+      ++path_count;
+      p.diameter = std::max(p.diameter, dist[t]);
+    }
+    // An edge s->t with dist-from-t reaching s closes a cycle. Cheaper
+    // equivalent: count edges whose target can reach their source.
+  }
+  if (path_count > 0) {
+    p.mean_shortest_path = path_sum / static_cast<double>(path_count);
+  }
+
+  for (const auto& [u, v] : g.edges()) {
+    if (u == v) {
+      ++p.loop_edge_count;
+      continue;
+    }
+    const auto back = bfs_distances(g, v);
+    if (back[u] != kUnreachable) ++p.loop_edge_count;
+  }
+
+  return p;
+}
+
+std::vector<float> to_feature_vector(const GraphProperties& p) {
+  return {
+      static_cast<float>(p.node_count),
+      static_cast<float>(p.edge_count),
+      static_cast<float>(p.density),
+      static_cast<float>(p.mean_degree),
+      static_cast<float>(p.max_degree),
+      static_cast<float>(p.degree_stddev),
+      static_cast<float>(p.mean_betweenness),
+      static_cast<float>(p.max_betweenness),
+      static_cast<float>(p.mean_closeness),
+      static_cast<float>(p.max_closeness),
+      static_cast<float>(p.mean_shortest_path),
+      static_cast<float>(p.diameter),
+      static_cast<float>(p.leaf_count),
+      static_cast<float>(p.branch_count),
+      static_cast<float>(p.loop_edge_count),
+  };
+}
+
+}  // namespace soteria::graph

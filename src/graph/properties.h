@@ -1,0 +1,46 @@
+// Whole-graph structural summaries.
+//
+// These power (a) dataset reports, and (b) the Alasmary et al. [3]
+// graph-theoretic baseline, which classifies malware from the "general
+// structure of the CFG": node/edge counts, degree statistics, density,
+// centrality statistics, shortest-path statistics, and component counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace soteria::graph {
+
+/// Structural profile of a directed graph.
+struct GraphProperties {
+  std::size_t node_count = 0;
+  std::size_t edge_count = 0;
+  double density = 0.0;  ///< |E| / (|V| * (|V|-1)) for directed graphs
+  double mean_degree = 0.0;
+  double max_degree = 0.0;
+  double degree_stddev = 0.0;
+  double mean_betweenness = 0.0;
+  double max_betweenness = 0.0;
+  double mean_closeness = 0.0;
+  double max_closeness = 0.0;
+  double mean_shortest_path = 0.0;  ///< over reachable directed pairs
+  std::size_t diameter = 0;         ///< directed, over reachable pairs
+  std::size_t leaf_count = 0;       ///< nodes with out-degree 0
+  std::size_t branch_count = 0;     ///< nodes with out-degree >= 2
+  std::size_t loop_edge_count = 0;  ///< edges closing a cycle (back or self)
+};
+
+/// Computes the full profile. O(V*E) dominated by the centrality and
+/// all-pairs-BFS terms; fine for CFG-sized graphs.
+[[nodiscard]] GraphProperties graph_properties(const DiGraph& g);
+
+/// Flattens the profile into a fixed-order feature vector for the
+/// baseline classifier. Order matches the struct declaration.
+[[nodiscard]] std::vector<float> to_feature_vector(const GraphProperties& p);
+
+/// Number of features produced by to_feature_vector().
+inline constexpr std::size_t kGraphFeatureCount = 15;
+
+}  // namespace soteria::graph

@@ -1,0 +1,81 @@
+#include "graph/traversal.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace soteria::graph {
+
+namespace {
+
+template <typename NeighborFn>
+std::vector<std::size_t> bfs_impl(const DiGraph& g, NodeId source,
+                                  NeighborFn&& neighbors) {
+  if (source >= g.node_count())
+    throw std::out_of_range("bfs: source out of range");
+  std::vector<std::size_t> dist(g.node_count(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::size_t> bfs_distances(const DiGraph& g, NodeId source) {
+  return bfs_impl(g, source, [&g](NodeId u) {
+    return std::vector<NodeId>(g.successors(u).begin(),
+                               g.successors(u).end());
+  });
+}
+
+std::vector<std::size_t> undirected_bfs_distances(const DiGraph& g,
+                                                  NodeId source) {
+  return bfs_impl(g, source,
+                  [&g](NodeId u) { return g.undirected_neighbors(u); });
+}
+
+std::vector<std::size_t> node_levels(const DiGraph& g, NodeId entry) {
+  auto dist = bfs_distances(g, entry);
+  for (std::size_t& d : dist) {
+    if (d != kUnreachable) d += 1;  // the paper's levels start at 1
+  }
+  return dist;
+}
+
+std::vector<bool> reachable_from(const DiGraph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::vector<bool> reach(dist.size(), false);
+  for (std::size_t i = 0; i < dist.size(); ++i)
+    reach[i] = dist[i] != kUnreachable;
+  return reach;
+}
+
+bool is_weakly_connected(const DiGraph& g) {
+  if (g.node_count() <= 1) return true;
+  const auto dist = undirected_bfs_distances(g, 0);
+  for (std::size_t d : dist)
+    if (d == kUnreachable) return false;
+  return true;
+}
+
+std::size_t directed_diameter(const DiGraph& g) {
+  std::size_t diameter = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto dist = bfs_distances(g, s);
+    for (std::size_t d : dist)
+      if (d != kUnreachable && d > diameter) diameter = d;
+  }
+  return diameter;
+}
+
+}  // namespace soteria::graph

@@ -1,0 +1,72 @@
+// Minimal binary (de)serialization helpers used for model and pipeline
+// persistence. Streams are little-endian host format with explicit
+// sizes; readers validate every length before allocating.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace soteria::io {
+
+/// Hard cap on any single deserialized container, as a corruption guard.
+inline constexpr std::uint64_t kMaxContainerElements = 1ULL << 32;
+
+/// Writes a trivially copyable scalar.
+template <typename T>
+void write_scalar(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  if (!out) throw std::runtime_error("binary_io: write failed");
+}
+
+/// Reads a trivially copyable scalar.
+template <typename T>
+[[nodiscard]] T read_scalar(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary_io: truncated stream");
+  return value;
+}
+
+/// Writes a vector of trivially copyable elements (length-prefixed).
+template <typename T>
+void write_vector(std::ostream& out, std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_scalar<std::uint64_t>(out, values.size());
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+  if (!out) throw std::runtime_error("binary_io: write failed");
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& values) {
+  write_vector<T>(out, std::span<const T>(values));
+}
+
+/// Reads a length-prefixed vector.
+template <typename T>
+[[nodiscard]] std::vector<T> read_vector(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto count = read_scalar<std::uint64_t>(in);
+  if (count > kMaxContainerElements) {
+    throw std::runtime_error("binary_io: implausible container size " +
+                             std::to_string(count));
+  }
+  std::vector<T> values(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(T)));
+  if (!in) throw std::runtime_error("binary_io: truncated stream");
+  return values;
+}
+
+/// Writes / reads a length-prefixed string.
+void write_string(std::ostream& out, const std::string& value);
+[[nodiscard]] std::string read_string(std::istream& in);
+
+}  // namespace soteria::io

@@ -1,0 +1,211 @@
+#include "math/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.h"
+
+namespace soteria::math {
+
+namespace {
+
+void require_same_shape(const Matrix& a, const Matrix& b, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape_string() + " vs " + b.shape_string());
+  }
+}
+
+}  // namespace
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  if (data_.size() != rows_ * cols_) {
+    throw std::invalid_argument("Matrix: value count " +
+                                std::to_string(data_.size()) +
+                                " != rows*cols " +
+                                std::to_string(rows_ * cols_));
+  }
+}
+
+float& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range("Matrix::at(" + std::to_string(r) + "," +
+                            std::to_string(c) + ") on " + shape_string());
+  }
+  return data_[r * cols_ + c];
+}
+
+float Matrix::at(std::size_t r, std::size_t c) const {
+  return const_cast<Matrix*>(this)->at(r, c);
+}
+
+std::span<float> Matrix::row(std::size_t r) {
+  if (r >= rows_) {
+    throw std::out_of_range("Matrix::row(" + std::to_string(r) + ") on " +
+                            shape_string());
+  }
+  return std::span<float>(data_).subspan(r * cols_, cols_);
+}
+
+std::span<const float> Matrix::row(std::size_t r) const {
+  if (r >= rows_) {
+    throw std::out_of_range("Matrix::row(" + std::to_string(r) + ") on " +
+                            shape_string());
+  }
+  return std::span<const float>(data_).subspan(r * cols_, cols_);
+}
+
+void Matrix::fill(float value) noexcept {
+  for (float& x : data_) x = value;
+}
+
+void Matrix::apply(const std::function<float(float)>& f) {
+  for (float& x : data_) x = f(x);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require_same_shape(*this, other, "Matrix::operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  require_same_shape(*this, other, "Matrix::operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  require_same_shape(*this, other, "Matrix::hadamard");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] * other.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(float scalar) noexcept {
+  for (float& x : data_) x *= scalar;
+  return *this;
+}
+
+void Matrix::add_row_vector(std::span<const float> v) {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("Matrix::add_row_vector: vector length " +
+                                std::to_string(v.size()) + " != cols " +
+                                std::to_string(cols_));
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    float* rowp = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) rowp[c] += v[c];
+  }
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+std::vector<float> Matrix::column_sums() const {
+  std::vector<float> sums(cols_, 0.0F);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* rowp = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) sums[c] += rowp[c];
+  }
+  return sums;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return std::sqrt(acc);
+}
+
+void Matrix::fill_uniform(Rng& rng, float lo, float hi) {
+  for (float& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Matrix::fill_normal(Rng& rng, float mean, float stddev) {
+  for (float& x : data_) x = static_cast<float>(rng.normal(mean, stddev));
+}
+
+std::string Matrix::shape_string() const {
+  return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimensions " +
+                                a.shape_string() + " * " + b.shape_string());
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n, 0.0F);
+  // i-k-j loop order: the inner loop streams over contiguous rows of B
+  // and C, which is the cache-friendly order for row-major data.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c.data().data() + i * n;
+    const float* arow = a.data().data() + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0F) continue;
+      const float* brow = b.data().data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_bt: inner dimensions " +
+                                a.shape_string() + " * " + b.shape_string() +
+                                "^T");
+  }
+  // Materializing the transpose lets the streaming i-k-j kernel run;
+  // the O(k*n) copy is negligible next to the O(m*k*n) product.
+  return matmul(a, b.transposed());
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_at: inner dimensions " +
+                                a.shape_string() + "^T * " +
+                                b.shape_string());
+  }
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n, 0.0F);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data().data() + kk * m;
+    const float* brow = b.data().data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0F) continue;
+      float* crow = c.data().data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+std::vector<float> matvec(const Matrix& m, std::span<const float> x) {
+  if (x.size() != m.cols()) {
+    throw std::invalid_argument("matvec: vector length " +
+                                std::to_string(x.size()) + " != cols of " +
+                                m.shape_string());
+  }
+  std::vector<float> y(m.rows(), 0.0F);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* rowp = m.data().data() + r * m.cols();
+    float acc = 0.0F;
+    for (std::size_t c = 0; c < m.cols(); ++c) acc += rowp[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace soteria::math

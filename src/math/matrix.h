@@ -1,0 +1,119 @@
+// Dense row-major float matrix used throughout the NN substrate and PCA.
+//
+// The class keeps a single invariant: data_.size() == rows_ * cols_.
+// Element access is bounds-checked in debug builds (assert) and raw in
+// release builds; the checked `at()` form throws and is used at API
+// boundaries.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace soteria::math {
+
+class Rng;
+
+/// Dense rows x cols matrix of float, row-major.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all elements set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+
+  /// rows x cols matrix adopting `values` (row-major). Throws
+  /// std::invalid_argument if sizes disagree.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> values);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked element access (asserted in debug builds).
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Checked element access; throws std::out_of_range.
+  [[nodiscard]] float& at(std::size_t r, std::size_t c);
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const;
+
+  /// Row view (length == cols()).
+  [[nodiscard]] std::span<float> row(std::size_t r);
+  [[nodiscard]] std::span<const float> row(std::size_t r) const;
+
+  /// Raw storage access (row-major).
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  /// Sets every element to `value`.
+  void fill(float value) noexcept;
+
+  /// Applies `f` to every element in place.
+  void apply(const std::function<float(float)>& f);
+
+  /// Element-wise addition / subtraction / product. Throw on shape
+  /// mismatch.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  [[nodiscard]] Matrix hadamard(const Matrix& other) const;
+
+  /// Scalar scaling in place.
+  Matrix& operator*=(float scalar) noexcept;
+
+  /// Adds `v` (length == cols()) to every row; the usual bias broadcast.
+  void add_row_vector(std::span<const float> v);
+
+  /// Matrix transpose.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Sum over rows -> vector of length cols().
+  [[nodiscard]] std::vector<float> column_sums() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  /// Fills with uniform deviates in [lo, hi).
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+  /// Fills with normal deviates.
+  void fill_normal(Rng& rng, float mean, float stddev);
+
+  /// Human-readable shape string, e.g. "[3x4]".
+  [[nodiscard]] std::string shape_string() const;
+
+  [[nodiscard]] bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Blocked for cache friendliness. Throws on inner-dimension
+/// mismatch.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T (internally transposes B once so the streaming kernel
+/// applies; the copy is negligible next to the product).
+[[nodiscard]] Matrix matmul_bt(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B without materializing the transpose.
+[[nodiscard]] Matrix matmul_at(const Matrix& a, const Matrix& b);
+
+/// y = M * x for a vector x (length == cols).
+[[nodiscard]] std::vector<float> matvec(const Matrix& m,
+                                        std::span<const float> x);
+
+}  // namespace soteria::math

@@ -1,0 +1,86 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace soteria::math {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double min(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("stats::min: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("stats::max: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("stats::median: empty input");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t n = copy.size();
+  if (n % 2 == 1) return copy[n / 2];
+  return 0.5 * (copy[n / 2 - 1] + copy[n / 2]);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty())
+    throw std::invalid_argument("stats::percentile: empty input");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("stats::percentile: p outside [0,100]");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  if (copy.size() == 1) return copy.front();
+  const double rank = p / 100.0 * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return copy[lo] + frac * (copy[hi] - copy[lo]);
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("stats::histogram: zero bins");
+  if (!(lo < hi))
+    throw std::invalid_argument("stats::histogram: lo must be < hi");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<std::int64_t>((x - lo) / width);
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min(xs);
+  s.median = median(xs);
+  s.max = max(xs);
+  return s;
+}
+
+}  // namespace soteria::math

@@ -1,0 +1,48 @@
+// Descriptive statistics used for detector thresholds, dataset summaries,
+// and the graph-theoretic baseline features.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace soteria::math {
+
+/// Arithmetic mean; 0 for an empty range.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation; 0 for ranges with < 2 elements.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum / maximum. Throw std::invalid_argument on empty input.
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Median (average of middle two for even sizes). Throws on empty input.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100]. Throws on
+/// empty input or p outside range.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; values
+/// outside the range are clamped into the edge buckets.
+[[nodiscard]] std::vector<std::size_t> histogram(std::span<const double> xs,
+                                                 double lo, double hi,
+                                                 std::size_t bins);
+
+/// Summary bundle used by dataset/report code.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Computes all Summary fields in one pass (plus a sort for the order
+/// statistics). Returns a zeroed Summary for empty input.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace soteria::math

@@ -1,0 +1,50 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soteria::nn {
+
+math::Matrix Relu::forward(const math::Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  math::Matrix out = input;
+  for (float& x : out.data()) x = x > 0.0F ? x : 0.0F;
+  return out;
+}
+
+math::Matrix Relu::backward(const math::Matrix& grad_output) {
+  if (grad_output.rows() != cached_input_.rows() ||
+      grad_output.cols() != cached_input_.cols()) {
+    throw std::invalid_argument("Relu::backward: shape mismatch");
+  }
+  math::Matrix grad = grad_output;
+  const auto in = cached_input_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (in[i] <= 0.0F) g[i] = 0.0F;
+  }
+  return grad;
+}
+
+math::Matrix Sigmoid::forward(const math::Matrix& input, bool /*training*/) {
+  math::Matrix out = input;
+  for (float& x : out.data()) x = 1.0F / (1.0F + std::exp(-x));
+  cached_output_ = out;
+  return out;
+}
+
+math::Matrix Sigmoid::backward(const math::Matrix& grad_output) {
+  if (grad_output.rows() != cached_output_.rows() ||
+      grad_output.cols() != cached_output_.cols()) {
+    throw std::invalid_argument("Sigmoid::backward: shape mismatch");
+  }
+  math::Matrix grad = grad_output;
+  const auto y = cached_output_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] *= y[i] * (1.0F - y[i]);
+  }
+  return grad;
+}
+
+}  // namespace soteria::nn

@@ -1,0 +1,140 @@
+#include "nn/conv1d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soteria::nn {
+
+Conv1d::Conv1d(std::size_t in_channels, std::size_t in_length,
+               std::size_t out_channels, std::size_t kernel, math::Rng& rng)
+    : in_channels_(in_channels),
+      in_length_(in_length),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      weights_(out_channels, in_channels * kernel),
+      bias_(1, out_channels, 0.0F),
+      weight_grad_(out_channels, in_channels * kernel, 0.0F),
+      bias_grad_(1, out_channels, 0.0F) {
+  if (in_channels == 0 || in_length == 0 || out_channels == 0 ||
+      kernel == 0) {
+    throw std::invalid_argument("Conv1d: zero dimension");
+  }
+  if (kernel > in_length) {
+    throw std::invalid_argument("Conv1d: kernel " + std::to_string(kernel) +
+                                " exceeds input length " +
+                                std::to_string(in_length));
+  }
+  const float limit =
+      std::sqrt(6.0F / static_cast<float>(in_channels * kernel));
+  weights_.fill_uniform(rng, -limit, limit);
+}
+
+math::Matrix Conv1d::forward(const math::Matrix& input, bool /*training*/) {
+  const std::size_t expected = in_channels_ * in_length_;
+  if (input.cols() != expected) {
+    throw std::invalid_argument("Conv1d::forward: input width " +
+                                std::to_string(input.cols()) + " != " +
+                                std::to_string(expected));
+  }
+  cached_input_ = input;
+  const std::size_t out_len = out_length();
+  math::Matrix out(input.rows(), out_channels_ * out_len, 0.0F);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const float* in_row = input.data().data() + r * input.cols();
+    float* out_row = out.data().data() + r * out.cols();
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      const float* w = weights_.data().data() + o * weights_.cols();
+      const float b = bias_(0, o);
+      float* out_chan = out_row + o * out_len;
+      for (std::size_t t = 0; t < out_len; ++t) out_chan[t] = b;
+      for (std::size_t c = 0; c < in_channels_; ++c) {
+        const float* in_chan = in_row + c * in_length_;
+        const float* wc = w + c * kernel_;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          const float wk = wc[k];
+          if (wk == 0.0F) continue;
+          const float* shifted = in_chan + k;
+          for (std::size_t t = 0; t < out_len; ++t) {
+            out_chan[t] += wk * shifted[t];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+math::Matrix Conv1d::backward(const math::Matrix& grad_output) {
+  const std::size_t out_len = out_length();
+  if (grad_output.rows() != cached_input_.rows() ||
+      grad_output.cols() != out_channels_ * out_len) {
+    throw std::invalid_argument("Conv1d::backward: gradient shape " +
+                                grad_output.shape_string() +
+                                " incompatible with cached batch");
+  }
+  math::Matrix grad_input(cached_input_.rows(), cached_input_.cols(), 0.0F);
+  for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+    const float* in_row =
+        cached_input_.data().data() + r * cached_input_.cols();
+    const float* go_row = grad_output.data().data() + r * grad_output.cols();
+    float* gi_row = grad_input.data().data() + r * grad_input.cols();
+    for (std::size_t o = 0; o < out_channels_; ++o) {
+      const float* go_chan = go_row + o * out_len;
+      float* wg = weight_grad_.data().data() + o * weight_grad_.cols();
+      const float* w = weights_.data().data() + o * weights_.cols();
+      float bias_acc = 0.0F;
+      for (std::size_t t = 0; t < out_len; ++t) bias_acc += go_chan[t];
+      bias_grad_(0, o) += bias_acc;
+      for (std::size_t c = 0; c < in_channels_; ++c) {
+        const float* in_chan = in_row + c * in_length_;
+        float* gi_chan = gi_row + c * in_length_;
+        float* wgc = wg + c * kernel_;
+        const float* wc = w + c * kernel_;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          const float* shifted_in = in_chan + k;
+          float* shifted_gi = gi_chan + k;
+          const float wk = wc[k];
+          float wgrad_acc = 0.0F;
+          for (std::size_t t = 0; t < out_len; ++t) {
+            const float g = go_chan[t];
+            wgrad_acc += g * shifted_in[t];
+            shifted_gi[t] += g * wk;
+          }
+          wgc[k] += wgrad_acc;
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv1d::collect_parameters(std::vector<ParamRef>& out) {
+  out.push_back(ParamRef{&weights_, &weight_grad_});
+  out.push_back(ParamRef{&bias_, &bias_grad_});
+}
+
+void Conv1d::zero_gradients() {
+  weight_grad_.fill(0.0F);
+  bias_grad_.fill(0.0F);
+}
+
+std::size_t Conv1d::parameter_count() const {
+  return weights_.size() + bias_.size();
+}
+
+std::string Conv1d::name() const {
+  return "Conv1d(" + std::to_string(in_channels_) + "x" +
+         std::to_string(in_length_) + "->" + std::to_string(out_channels_) +
+         ", k=" + std::to_string(kernel_) + ")";
+}
+
+std::size_t Conv1d::output_dimension(std::size_t input_dim) const {
+  if (input_dim != in_channels_ * in_length_) {
+    throw std::invalid_argument("Conv1d: expected input width " +
+                                std::to_string(in_channels_ * in_length_) +
+                                ", got " + std::to_string(input_dim));
+  }
+  return out_channels_ * out_length();
+}
+
+}  // namespace soteria::nn

@@ -1,0 +1,50 @@
+// 1D convolution over channel-major flattened rows.
+//
+// A batch row of `in_channels` channels and length `in_length` is laid
+// out as [c0 t0..tL, c1 t0..tL, ...]. Convolution is "valid" (no
+// padding), stride 1, matching the Keras defaults the paper's CNN
+// blocks rely on (46 filters of size 1x3).
+#pragma once
+
+#include <cstddef>
+
+#include "math/rng.h"
+#include "nn/layer.h"
+
+namespace soteria::nn {
+
+class Conv1d : public Layer {
+ public:
+  /// Throws std::invalid_argument on zero sizes or kernel > in_length.
+  Conv1d(std::size_t in_channels, std::size_t in_length,
+         std::size_t out_channels, std::size_t kernel, math::Rng& rng);
+
+  math::Matrix forward(const math::Matrix& input, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+  void collect_parameters(std::vector<ParamRef>& out) override;
+  void zero_gradients() override;
+  [[nodiscard]] std::size_t parameter_count() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_dimension(
+      std::size_t input_dim) const override;
+
+  [[nodiscard]] std::size_t out_length() const noexcept {
+    return in_length_ - kernel_ + 1;
+  }
+  [[nodiscard]] std::size_t out_channels() const noexcept {
+    return out_channels_;
+  }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t in_length_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  math::Matrix weights_;  // out_channels x (in_channels * kernel)
+  math::Matrix bias_;     // 1 x out_channels
+  math::Matrix weight_grad_;
+  math::Matrix bias_grad_;
+  math::Matrix cached_input_;
+};
+
+}  // namespace soteria::nn

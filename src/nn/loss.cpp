@@ -1,0 +1,100 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace soteria::nn {
+
+LossResult mse_loss(const math::Matrix& predictions,
+                    const math::Matrix& targets) {
+  if (predictions.rows() != targets.rows() ||
+      predictions.cols() != targets.cols()) {
+    throw std::invalid_argument("mse_loss: shape mismatch " +
+                                predictions.shape_string() + " vs " +
+                                targets.shape_string());
+  }
+  const auto n = static_cast<double>(predictions.size());
+  LossResult result;
+  result.gradient = math::Matrix(predictions.rows(), predictions.cols());
+  double acc = 0.0;
+  const auto p = predictions.data();
+  const auto t = targets.data();
+  auto g = result.gradient.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double diff = static_cast<double>(p[i]) - t[i];
+    acc += diff * diff;
+    g[i] = static_cast<float>(2.0 * diff / n);
+  }
+  result.loss = acc / n;
+  return result;
+}
+
+math::Matrix softmax(const math::Matrix& logits) {
+  math::Matrix probs = logits;
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    auto row = probs.row(r);
+    const float max = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (float& x : row) {
+      x = std::exp(x - max);
+      sum += x;
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    for (float& x : row) x *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const math::Matrix& logits,
+                                 std::span<const std::size_t> labels) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("softmax_cross_entropy: " +
+                                std::to_string(labels.size()) +
+                                " labels for batch of " +
+                                std::to_string(logits.rows()));
+  }
+  LossResult result;
+  result.gradient = softmax(logits);
+  const auto batch = static_cast<double>(logits.rows());
+  double acc = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (labels[r] >= logits.cols()) {
+      throw std::invalid_argument("softmax_cross_entropy: label " +
+                                  std::to_string(labels[r]) +
+                                  " >= class count " +
+                                  std::to_string(logits.cols()));
+    }
+    const double p =
+        std::max(static_cast<double>(result.gradient(r, labels[r])), 1e-12);
+    acc -= std::log(p);
+    result.gradient(r, labels[r]) -= 1.0F;
+  }
+  result.gradient *= static_cast<float>(1.0 / batch);
+  result.loss = acc / batch;
+  return result;
+}
+
+std::vector<double> row_rmse(const math::Matrix& predictions,
+                             const math::Matrix& targets) {
+  if (predictions.rows() != targets.rows() ||
+      predictions.cols() != targets.cols()) {
+    throw std::invalid_argument("row_rmse: shape mismatch " +
+                                predictions.shape_string() + " vs " +
+                                targets.shape_string());
+  }
+  std::vector<double> rmse(predictions.rows(), 0.0);
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    const auto p = predictions.row(r);
+    const auto t = targets.row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < p.size(); ++c) {
+      const double diff = static_cast<double>(p[c]) - t[c];
+      acc += diff * diff;
+    }
+    rmse[r] = std::sqrt(acc / static_cast<double>(p.size()));
+  }
+  return rmse;
+}
+
+}  // namespace soteria::nn

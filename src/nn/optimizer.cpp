@@ -1,0 +1,125 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soteria::nn {
+
+namespace {
+
+void check_binding(std::size_t bound, std::span<const ParamRef> params,
+                   const char* what) {
+  if (bound != 0 && bound != params.size()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": parameter list size changed (" +
+                                std::to_string(bound) + " -> " +
+                                std::to_string(params.size()) + ")");
+  }
+  for (const auto& p : params) {
+    if (p.value == nullptr || p.grad == nullptr) {
+      throw std::invalid_argument(std::string(what) + ": null parameter");
+    }
+    if (p.value->size() != p.grad->size()) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": parameter/gradient size mismatch");
+    }
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  if (learning_rate <= 0.0) {
+    throw std::invalid_argument("Sgd: learning rate must be positive");
+  }
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("Sgd: momentum outside [0, 1)");
+  }
+}
+
+void Sgd::set_learning_rate(double lr) {
+  if (lr <= 0.0) {
+    throw std::invalid_argument("Sgd: learning rate must be positive");
+  }
+  lr_ = lr;
+}
+
+void Sgd::step(std::span<const ParamRef> parameters) {
+  check_binding(velocity_.size(), parameters, "Sgd::step");
+  if (velocity_.empty()) {
+    velocity_.reserve(parameters.size());
+    for (const auto& p : parameters) {
+      velocity_.emplace_back(p.value->size(), 0.0F);
+    }
+  }
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    auto value = parameters[i].value->data();
+    const auto grad = parameters[i].grad->data();
+    auto& vel = velocity_[i];
+    if (vel.size() != value.size()) {
+      throw std::invalid_argument("Sgd::step: parameter shape changed");
+    }
+    const auto lr = static_cast<float>(lr_);
+    const auto mu = static_cast<float>(momentum_);
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      vel[j] = mu * vel[j] - lr * grad[j];
+      value[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  if (learning_rate <= 0.0) {
+    throw std::invalid_argument("Adam: learning rate must be positive");
+  }
+  if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas outside [0, 1)");
+  }
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("Adam: epsilon must be positive");
+  }
+}
+
+void Adam::set_learning_rate(double lr) {
+  if (lr <= 0.0) {
+    throw std::invalid_argument("Adam: learning rate must be positive");
+  }
+  lr_ = lr;
+}
+
+void Adam::step(std::span<const ParamRef> parameters) {
+  check_binding(first_moment_.size(), parameters, "Adam::step");
+  if (first_moment_.empty()) {
+    first_moment_.reserve(parameters.size());
+    second_moment_.reserve(parameters.size());
+    for (const auto& p : parameters) {
+      first_moment_.emplace_back(p.value->size(), 0.0F);
+      second_moment_.emplace_back(p.value->size(), 0.0F);
+    }
+  }
+  ++timestep_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(timestep_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(timestep_));
+  const auto step_size = static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(epsilon_);
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    auto value = parameters[i].value->data();
+    const auto grad = parameters[i].grad->data();
+    auto& m = first_moment_[i];
+    auto& v = second_moment_[i];
+    if (m.size() != value.size()) {
+      throw std::invalid_argument("Adam::step: parameter shape changed");
+    }
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0F - b1) * grad[j];
+      v[j] = b2 * v[j] + (1.0F - b2) * grad[j] * grad[j];
+      value[j] -= step_size * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+}  // namespace soteria::nn

@@ -1,0 +1,99 @@
+#include "nn/pooling.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace soteria::nn {
+
+MaxPool1d::MaxPool1d(std::size_t channels, std::size_t in_length,
+                     std::size_t window)
+    : channels_(channels), in_length_(in_length), window_(window) {
+  if (channels == 0 || in_length == 0 || window == 0) {
+    throw std::invalid_argument("MaxPool1d: zero dimension");
+  }
+  if (window > in_length) {
+    throw std::invalid_argument("MaxPool1d: window " +
+                                std::to_string(window) +
+                                " exceeds input length " +
+                                std::to_string(in_length));
+  }
+}
+
+math::Matrix MaxPool1d::forward(const math::Matrix& input,
+                                bool /*training*/) {
+  const std::size_t expected = channels_ * in_length_;
+  if (input.cols() != expected) {
+    throw std::invalid_argument("MaxPool1d::forward: input width " +
+                                std::to_string(input.cols()) + " != " +
+                                std::to_string(expected));
+  }
+  const std::size_t out_len = out_length();
+  cached_rows_ = input.rows();
+  argmax_.assign(input.rows() * channels_ * out_len, 0);
+  math::Matrix out(input.rows(), channels_ * out_len, 0.0F);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const float* in_row = input.data().data() + r * input.cols();
+    float* out_row = out.data().data() + r * out.cols();
+    std::uint32_t* am_row = argmax_.data() + r * channels_ * out_len;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* in_chan = in_row + c * in_length_;
+      float* out_chan = out_row + c * out_len;
+      std::uint32_t* am_chan = am_row + c * out_len;
+      for (std::size_t t = 0; t < out_len; ++t) {
+        const std::size_t start = t * window_;
+        float best = in_chan[start];
+        std::size_t best_idx = start;
+        for (std::size_t k = 1; k < window_; ++k) {
+          if (in_chan[start + k] > best) {
+            best = in_chan[start + k];
+            best_idx = start + k;
+          }
+        }
+        out_chan[t] = best;
+        am_chan[t] = static_cast<std::uint32_t>(best_idx);
+      }
+    }
+  }
+  return out;
+}
+
+math::Matrix MaxPool1d::backward(const math::Matrix& grad_output) {
+  const std::size_t out_len = out_length();
+  if (grad_output.rows() != cached_rows_ ||
+      grad_output.cols() != channels_ * out_len) {
+    throw std::invalid_argument("MaxPool1d::backward: gradient shape " +
+                                grad_output.shape_string() +
+                                " incompatible with cached batch");
+  }
+  math::Matrix grad_input(cached_rows_, channels_ * in_length_, 0.0F);
+  for (std::size_t r = 0; r < cached_rows_; ++r) {
+    const float* go_row = grad_output.data().data() + r * grad_output.cols();
+    float* gi_row = grad_input.data().data() + r * grad_input.cols();
+    const std::uint32_t* am_row = argmax_.data() + r * channels_ * out_len;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* go_chan = go_row + c * out_len;
+      float* gi_chan = gi_row + c * in_length_;
+      const std::uint32_t* am_chan = am_row + c * out_len;
+      for (std::size_t t = 0; t < out_len; ++t) {
+        gi_chan[am_chan[t]] += go_chan[t];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string MaxPool1d::name() const {
+  return "MaxPool1d(" + std::to_string(channels_) + "x" +
+         std::to_string(in_length_) + ", w=" + std::to_string(window_) + ")";
+}
+
+std::size_t MaxPool1d::output_dimension(std::size_t input_dim) const {
+  if (input_dim != channels_ * in_length_) {
+    throw std::invalid_argument("MaxPool1d: expected input width " +
+                                std::to_string(channels_ * in_length_) +
+                                ", got " + std::to_string(input_dim));
+  }
+  return channels_ * out_length();
+}
+
+}  // namespace soteria::nn

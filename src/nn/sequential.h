@@ -1,0 +1,70 @@
+// Sequential container: an ordered stack of layers trained end-to-end.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace soteria::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer (builder style). Throws std::invalid_argument on a
+  /// null layer.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  /// Forward through all layers. Throws std::logic_error if empty.
+  [[nodiscard]] math::Matrix forward(const math::Matrix& input,
+                                     bool training);
+
+  /// Inference-mode forward (no dropout).
+  [[nodiscard]] math::Matrix predict(const math::Matrix& input) {
+    return forward(input, /*training=*/false);
+  }
+
+  /// Backward pass through all layers; returns d(loss)/d(input).
+  math::Matrix backward(const math::Matrix& grad_output);
+
+  /// All parameter/gradient pairs, in stable layer order.
+  [[nodiscard]] std::vector<ParamRef> parameters();
+
+  /// Zeroes every layer's gradient accumulators.
+  void zero_gradients();
+
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  /// Validates the layer chain for `input_dim`-wide inputs and returns
+  /// the output width. Throws std::invalid_argument on any mismatch.
+  [[nodiscard]] std::size_t output_dimension(std::size_t input_dim) const;
+
+  /// One line per layer, for logs and model summaries.
+  [[nodiscard]] std::string summary() const;
+
+  /// Serializes all parameters (binary, with a magic header and per-
+  /// tensor sizes). Architecture itself is not stored: load into a model
+  /// constructed with the same topology. Throws std::runtime_error on
+  /// I/O failure or size mismatch at load.
+  void save_parameters(std::ostream& out);
+  void load_parameters(std::istream& in);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace soteria::nn

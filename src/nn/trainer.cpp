@@ -1,0 +1,134 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/loss.h"
+
+namespace soteria::nn {
+
+void validate(const TrainConfig& config) {
+  if (config.epochs == 0) {
+    throw std::invalid_argument("TrainConfig: epochs must be > 0");
+  }
+  if (config.batch_size == 0) {
+    throw std::invalid_argument("TrainConfig: batch size must be > 0");
+  }
+}
+
+TrainConfig make_train_config(std::size_t epochs, std::size_t batch_size) {
+  TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = batch_size;
+  return config;
+}
+
+namespace {
+
+// Shared epoch loop: `run_batch` maps a row-index batch to its loss.
+template <typename BatchFn>
+TrainReport epoch_loop(std::size_t sample_count, const TrainConfig& config,
+                       math::Rng& rng, BatchFn&& run_batch) {
+  validate(config);
+  if (sample_count == 0) {
+    throw std::invalid_argument("train: empty dataset");
+  }
+  std::vector<std::size_t> order(sample_count);
+  for (std::size_t i = 0; i < sample_count; ++i) order[i] = i;
+
+  TrainReport report;
+  report.epoch_losses.reserve(config.epochs);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < sample_count;
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, sample_count);
+      const std::span<const std::size_t> batch(order.data() + start,
+                                               end - start);
+      loss_sum += run_batch(batch);
+      ++batches;
+    }
+    const double epoch_loss = loss_sum / static_cast<double>(batches);
+    report.epoch_losses.push_back(epoch_loss);
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
+  }
+  return report;
+}
+
+}  // namespace
+
+TrainReport train_regression(Sequential& model, const math::Matrix& inputs,
+                             const math::Matrix& targets,
+                             Optimizer& optimizer, const TrainConfig& config,
+                             math::Rng& rng) {
+  if (inputs.rows() != targets.rows()) {
+    throw std::invalid_argument("train_regression: row count mismatch");
+  }
+  const auto params = model.parameters();
+  return epoch_loop(
+      inputs.rows(), config, rng,
+      [&](std::span<const std::size_t> batch) {
+        const math::Matrix x = gather_rows(inputs, batch);
+        const math::Matrix y = gather_rows(targets, batch);
+        model.zero_gradients();
+        const math::Matrix pred = model.forward(x, /*training=*/true);
+        const LossResult loss = mse_loss(pred, y);
+        model.backward(loss.gradient);
+        optimizer.step(params);
+        return loss.loss;
+      });
+}
+
+TrainReport train_classifier(Sequential& model, const math::Matrix& inputs,
+                             std::span<const std::size_t> labels,
+                             Optimizer& optimizer, const TrainConfig& config,
+                             math::Rng& rng) {
+  if (inputs.rows() != labels.size()) {
+    throw std::invalid_argument("train_classifier: label count mismatch");
+  }
+  const auto params = model.parameters();
+  return epoch_loop(
+      inputs.rows(), config, rng,
+      [&](std::span<const std::size_t> batch) {
+        const math::Matrix x = gather_rows(inputs, batch);
+        std::vector<std::size_t> y(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          y[i] = labels[batch[i]];
+        }
+        model.zero_gradients();
+        const math::Matrix logits = model.forward(x, /*training=*/true);
+        const LossResult loss = softmax_cross_entropy(logits, y);
+        model.backward(loss.gradient);
+        optimizer.step(params);
+        return loss.loss;
+      });
+}
+
+std::vector<std::size_t> argmax_rows(const math::Matrix& m) {
+  std::vector<std::size_t> result(m.rows(), 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    result[r] = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return result;
+}
+
+math::Matrix gather_rows(const math::Matrix& m,
+                         std::span<const std::size_t> rows) {
+  math::Matrix out(rows.size(), m.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= m.rows()) {
+      throw std::out_of_range("gather_rows: row index out of range");
+    }
+    const auto src = m.row(rows[i]);
+    auto dst = out.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+}  // namespace soteria::nn

@@ -1,0 +1,189 @@
+#include "soteria/classifier.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/binary_io.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace soteria::core {
+
+math::Matrix pack_rows(const std::vector<std::vector<float>>& vectors) {
+  if (vectors.empty()) {
+    throw std::invalid_argument("pack_rows: no vectors");
+  }
+  const std::size_t width = vectors.front().size();
+  math::Matrix m(vectors.size(), width);
+  for (std::size_t r = 0; r < vectors.size(); ++r) {
+    if (vectors[r].size() != width) {
+      throw std::invalid_argument("pack_rows: ragged vector widths");
+    }
+    std::copy(vectors[r].begin(), vectors[r].end(), m.row(r).begin());
+  }
+  return m;
+}
+
+namespace {
+
+nn::Sequential train_one(const LabeledVectors& data,
+                         const nn::CnnConfig& config,
+                         const nn::TrainConfig& training,
+                         double learning_rate, math::Rng& rng,
+                         nn::TrainReport& report, nn::CnnConfig& arch_out) {
+  if (data.features.rows() == 0) {
+    throw std::invalid_argument("FamilyClassifier: empty training data");
+  }
+  if (data.features.rows() != data.labels.size()) {
+    throw std::invalid_argument(
+        "FamilyClassifier: feature/label count mismatch");
+  }
+  nn::CnnConfig arch = config;
+  arch.input_length = data.features.cols();
+  arch_out = arch;
+  nn::Sequential model = nn::build_cnn(arch, rng);
+  nn::Adam optimizer(learning_rate);
+  report = nn::train_classifier(model, data.features, data.labels,
+                                optimizer, training, rng);
+  return model;
+}
+
+void save_cnn_arch(std::ostream& out, const nn::CnnConfig& arch) {
+  io::write_scalar<std::uint64_t>(out, arch.input_length);
+  io::write_scalar<std::uint64_t>(out, arch.classes);
+  io::write_scalar<std::uint64_t>(out, arch.filters);
+  io::write_scalar<std::uint64_t>(out, arch.kernel);
+  io::write_scalar<std::uint64_t>(out, arch.dense_units);
+  io::write_scalar(out, arch.conv_dropout);
+  io::write_scalar(out, arch.dense_dropout);
+}
+
+nn::CnnConfig load_cnn_arch(std::istream& in) {
+  nn::CnnConfig arch;
+  arch.input_length =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  arch.classes = static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  arch.filters = static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  arch.kernel = static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  arch.dense_units =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  arch.conv_dropout = io::read_scalar<double>(in);
+  arch.dense_dropout = io::read_scalar<double>(in);
+  return arch;
+}
+
+}  // namespace
+
+FamilyClassifier FamilyClassifier::train(const LabeledVectors& dbl,
+                                         const LabeledVectors& lbl,
+                                         const nn::CnnConfig& config,
+                                         const nn::TrainConfig& training,
+                                         double learning_rate,
+                                         math::Rng& rng) {
+  FamilyClassifier classifier;
+  classifier.dbl_model_ =
+      train_one(dbl, config, training, learning_rate, rng,
+                classifier.dbl_report_, classifier.dbl_arch_);
+  classifier.lbl_model_ =
+      train_one(lbl, config, training, learning_rate, rng,
+                classifier.lbl_report_, classifier.lbl_arch_);
+  return classifier;
+}
+
+void FamilyClassifier::save(std::ostream& out) {
+  save_cnn_arch(out, dbl_arch_);
+  save_cnn_arch(out, lbl_arch_);
+  dbl_model_.save_parameters(out);
+  lbl_model_.save_parameters(out);
+}
+
+FamilyClassifier FamilyClassifier::load(std::istream& in) {
+  FamilyClassifier classifier;
+  classifier.dbl_arch_ = load_cnn_arch(in);
+  classifier.lbl_arch_ = load_cnn_arch(in);
+  math::Rng scratch(0);  // weights are overwritten by load_parameters
+  classifier.dbl_model_ = nn::build_cnn(classifier.dbl_arch_, scratch);
+  classifier.lbl_model_ = nn::build_cnn(classifier.lbl_arch_, scratch);
+  classifier.dbl_model_.load_parameters(in);
+  classifier.lbl_model_.load_parameters(in);
+  return classifier;
+}
+
+void FamilyClassifier::accumulate(
+    nn::Sequential& model, const std::vector<std::vector<float>>& vectors,
+    std::vector<std::size_t>& votes, std::vector<double>& probability_mass) {
+  if (vectors.empty()) return;
+  const math::Matrix batch = pack_rows(vectors);
+  const math::Matrix probs = nn::softmax(model.predict(batch));
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    const auto row = probs.row(r);
+    const auto best = static_cast<std::size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    ++votes[best];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      probability_mass[c] += row[c];
+    }
+  }
+}
+
+std::vector<std::size_t> FamilyClassifier::vote_counts(
+    const features::SampleFeatures& features) {
+  std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
+  std::vector<double> mass(dataset::kFamilyCount, 0.0);
+  accumulate(dbl_model_, features.dbl, votes, mass);
+  accumulate(lbl_model_, features.lbl, votes, mass);
+  return votes;
+}
+
+namespace {
+
+dataset::Family vote_winner(const std::vector<std::size_t>& votes,
+                            const std::vector<double>& mass) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best] ||
+        (votes[c] == votes[best] && mass[c] > mass[best])) {
+      best = c;
+    }
+  }
+  return dataset::family_from_index(best);
+}
+
+}  // namespace
+
+dataset::Family FamilyClassifier::predict(
+    const features::SampleFeatures& features) {
+  std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
+  std::vector<double> mass(dataset::kFamilyCount, 0.0);
+  accumulate(dbl_model_, features.dbl, votes, mass);
+  accumulate(lbl_model_, features.lbl, votes, mass);
+  return vote_winner(votes, mass);
+}
+
+dataset::Family FamilyClassifier::predict_dbl_only(
+    const features::SampleFeatures& features) {
+  std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
+  std::vector<double> mass(dataset::kFamilyCount, 0.0);
+  accumulate(dbl_model_, features.dbl, votes, mass);
+  return vote_winner(votes, mass);
+}
+
+dataset::Family FamilyClassifier::predict_lbl_only(
+    const features::SampleFeatures& features) {
+  std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
+  std::vector<double> mass(dataset::kFamilyCount, 0.0);
+  accumulate(lbl_model_, features.lbl, votes, mass);
+  return vote_winner(votes, mass);
+}
+
+std::vector<std::size_t> FamilyClassifier::predict_dbl(
+    const math::Matrix& vectors) {
+  return nn::argmax_rows(dbl_model_.predict(vectors));
+}
+
+std::vector<std::size_t> FamilyClassifier::predict_lbl(
+    const math::Matrix& vectors) {
+  return nn::argmax_rows(lbl_model_.predict(vectors));
+}
+
+}  // namespace soteria::core

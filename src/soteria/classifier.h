@@ -1,0 +1,100 @@
+// Family classifier (paper Section III-C, Figs. 6-7): two CNNs — one
+// over DBL feature vectors, one over LBL — with majority voting across
+// all per-walk vectors. The class with the most argmax votes wins; vote
+// ties are broken by summed softmax probability.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "dataset/family.h"
+#include "features/pipeline.h"
+#include "math/matrix.h"
+#include "math/rng.h"
+#include "nn/cnn.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+
+namespace soteria::core {
+
+/// Per-labeling training data: rows of per-walk feature vectors with
+/// one class label each.
+struct LabeledVectors {
+  math::Matrix features;             ///< n x vocabulary-size
+  std::vector<std::size_t> labels;   ///< n class indices
+};
+
+class FamilyClassifier {
+ public:
+  /// Trains both CNNs. `config.input_length` is overridden per model by
+  /// the corresponding feature width. Throws std::invalid_argument on
+  /// empty inputs or label/row mismatch.
+  static FamilyClassifier train(const LabeledVectors& dbl,
+                                const LabeledVectors& lbl,
+                                const nn::CnnConfig& config,
+                                const nn::TrainConfig& training,
+                                double learning_rate, math::Rng& rng);
+
+  /// Majority-vote prediction over a sample's full feature bundle.
+  [[nodiscard]] dataset::Family predict(
+      const features::SampleFeatures& features);
+
+  /// Vote tally per class for diagnostics (same order as Family).
+  [[nodiscard]] std::vector<std::size_t> vote_counts(
+      const features::SampleFeatures& features);
+
+  /// Single-model batch predictions (rows = per-walk vectors).
+  [[nodiscard]] std::vector<std::size_t> predict_dbl(
+      const math::Matrix& vectors);
+  [[nodiscard]] std::vector<std::size_t> predict_lbl(
+      const math::Matrix& vectors);
+
+  /// Single-model per-sample prediction: majority vote within one
+  /// labeling only (used for the Table VII ablation columns).
+  [[nodiscard]] dataset::Family predict_dbl_only(
+      const features::SampleFeatures& features);
+  [[nodiscard]] dataset::Family predict_lbl_only(
+      const features::SampleFeatures& features);
+
+  [[nodiscard]] const nn::TrainReport& dbl_report() const noexcept {
+    return dbl_report_;
+  }
+  [[nodiscard]] const nn::TrainReport& lbl_report() const noexcept {
+    return lbl_report_;
+  }
+  [[nodiscard]] nn::Sequential& dbl_model() noexcept { return dbl_model_; }
+  [[nodiscard]] nn::Sequential& lbl_model() noexcept { return lbl_model_; }
+
+  /// Binary (de)serialization of both CNNs. `load` throws
+  /// std::runtime_error on a corrupt stream.
+  void save(std::ostream& out);
+  [[nodiscard]] static FamilyClassifier load(std::istream& in);
+
+  /// Default-constructed untrained classifier; a placeholder until
+  /// assigned from train().
+  FamilyClassifier() = default;
+
+ private:
+  /// Accumulates votes and probability mass from one model over a set
+  /// of vectors.
+  void accumulate(nn::Sequential& model,
+                  const std::vector<std::vector<float>>& vectors,
+                  std::vector<std::size_t>& votes,
+                  std::vector<double>& probability_mass);
+
+  nn::CnnConfig dbl_arch_;  ///< architectures actually built
+  nn::CnnConfig lbl_arch_;
+  nn::Sequential dbl_model_;
+  nn::Sequential lbl_model_;
+  nn::TrainReport dbl_report_;
+  nn::TrainReport lbl_report_;
+};
+
+/// Packs per-walk vectors into a matrix (rows = vectors). Throws
+/// std::invalid_argument on ragged input.
+[[nodiscard]] math::Matrix pack_rows(
+    const std::vector<std::vector<float>>& vectors);
+
+}  // namespace soteria::core

@@ -1,0 +1,175 @@
+#include "soteria/detector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "io/binary_io.h"
+#include "math/stats.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace soteria::core {
+
+AeDetector AeDetector::train(const math::Matrix& clean_features,
+                             const math::Matrix& calibration_features,
+                             const nn::AutoencoderConfig& config,
+                             const nn::TrainConfig& training, double alpha,
+                             double learning_rate, math::Rng& rng) {
+  if (clean_features.rows() == 0 || clean_features.cols() == 0) {
+    throw std::invalid_argument("AeDetector::train: empty feature matrix");
+  }
+  if (calibration_features.cols() != clean_features.cols()) {
+    throw std::invalid_argument(
+        "AeDetector::train: calibration width mismatch");
+  }
+  if (calibration_features.rows() < 4) {
+    throw std::invalid_argument(
+        "AeDetector::train: need at least 4 calibration rows");
+  }
+  if (alpha < 0.0) {
+    throw std::invalid_argument("AeDetector::train: negative alpha");
+  }
+
+  nn::AutoencoderConfig arch = config;
+  arch.input_dim = clean_features.cols();
+
+  AeDetector detector;
+  detector.arch_ = arch;
+  detector.model_ = nn::build_autoencoder(arch, rng);
+  nn::Adam optimizer(learning_rate);
+  detector.report_ = nn::train_regression(detector.model_, clean_features,
+                                          clean_features, optimizer,
+                                          training, rng);
+
+  // Calibration split A: per-dimension residual statistics.
+  const std::size_t dim = clean_features.cols();
+  const std::size_t half = calibration_features.rows() / 2;
+  const math::Matrix part_a = nn::gather_rows(
+      calibration_features, [&] {
+        std::vector<std::size_t> idx(half);
+        for (std::size_t i = 0; i < half; ++i) idx[i] = i;
+        return idx;
+      }());
+  const math::Matrix reconstructed_a = detector.model_.predict(part_a);
+  detector.residual_mean_.assign(dim, 0.0);
+  detector.residual_stddev_.assign(dim, 0.0);
+  for (std::size_t r = 0; r < part_a.rows(); ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      detector.residual_mean_[c] +=
+          static_cast<double>(reconstructed_a(r, c)) - part_a(r, c);
+    }
+  }
+  const auto n_a = static_cast<double>(part_a.rows());
+  for (double& v : detector.residual_mean_) v /= n_a;
+  for (std::size_t r = 0; r < part_a.rows(); ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double d = static_cast<double>(reconstructed_a(r, c)) -
+                       part_a(r, c) - detector.residual_mean_[c];
+      detector.residual_stddev_[c] += d * d;
+    }
+  }
+  for (double& v : detector.residual_stddev_) {
+    v = std::sqrt(v / n_a) + 1e-6;
+  }
+
+  // Calibration split B: score distribution -> threshold.
+  const math::Matrix part_b = nn::gather_rows(
+      calibration_features, [&] {
+        std::vector<std::size_t> idx(calibration_features.rows() - half);
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = half + i;
+        return idx;
+      }());
+  const auto calibration_scores = detector.scores(part_b);
+  detector.mean_ = math::mean(calibration_scores);
+  detector.stddev_ = math::stddev(calibration_scores);
+  detector.alpha_ = alpha;
+  detector.threshold_ = detector.mean_ + alpha * detector.stddev_;
+  return detector;
+}
+
+std::vector<double> AeDetector::scores(const math::Matrix& features) {
+  if (residual_stddev_.empty()) {
+    throw std::logic_error("AeDetector::scores: detector not calibrated");
+  }
+  if (features.cols() != residual_stddev_.size()) {
+    throw std::invalid_argument("AeDetector::scores: width mismatch");
+  }
+  const math::Matrix reconstructed = model_.predict(features);
+  std::vector<double> out(features.rows(), 0.0);
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      const double z = (static_cast<double>(reconstructed(r, c)) -
+                        features(r, c) - residual_mean_[c]) /
+                       residual_stddev_[c];
+      acc += z * z;
+    }
+    out[r] = std::sqrt(acc / static_cast<double>(features.cols()));
+  }
+  return out;
+}
+
+std::vector<double> AeDetector::reconstruction_errors(
+    const math::Matrix& features) {
+  const math::Matrix reconstructed = model_.predict(features);
+  return nn::row_rmse(reconstructed, features);
+}
+
+double AeDetector::sample_error(const math::Matrix& sample_vectors) {
+  if (sample_vectors.rows() == 0) {
+    throw std::invalid_argument("AeDetector::sample_error: empty sample");
+  }
+  const auto sample_scores = scores(sample_vectors);
+  return math::mean(sample_scores);
+}
+
+bool AeDetector::is_adversarial(const math::Matrix& sample_vectors) {
+  return sample_error(sample_vectors) > threshold_;
+}
+
+void AeDetector::set_alpha(double alpha) {
+  if (alpha < 0.0) {
+    throw std::invalid_argument("AeDetector::set_alpha: negative alpha");
+  }
+  alpha_ = alpha;
+  threshold_ = mean_ + alpha * stddev_;
+}
+
+void AeDetector::save(std::ostream& out) {
+  io::write_scalar<std::uint64_t>(out, arch_.input_dim);
+  io::write_vector<std::size_t>(out, arch_.hidden_dims);
+  io::write_scalar(out, arch_.width_scale);
+  io::write_vector<double>(out, residual_mean_);
+  io::write_vector<double>(out, residual_stddev_);
+  io::write_scalar(out, mean_);
+  io::write_scalar(out, stddev_);
+  io::write_scalar(out, alpha_);
+  io::write_vector<double>(out, report_.epoch_losses);
+  model_.save_parameters(out);
+}
+
+AeDetector AeDetector::load(std::istream& in) {
+  AeDetector detector;
+  detector.arch_.input_dim =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  detector.arch_.hidden_dims = io::read_vector<std::size_t>(in);
+  detector.arch_.width_scale = io::read_scalar<double>(in);
+  detector.residual_mean_ = io::read_vector<double>(in);
+  detector.residual_stddev_ = io::read_vector<double>(in);
+  detector.mean_ = io::read_scalar<double>(in);
+  detector.stddev_ = io::read_scalar<double>(in);
+  detector.alpha_ = io::read_scalar<double>(in);
+  detector.threshold_ = detector.mean_ + detector.alpha_ * detector.stddev_;
+  detector.report_.epoch_losses = io::read_vector<double>(in);
+  math::Rng scratch(0);  // weights are overwritten by load_parameters
+  detector.model_ = nn::build_autoencoder(detector.arch_, scratch);
+  detector.model_.load_parameters(in);
+  if (detector.residual_mean_.size() != detector.arch_.input_dim ||
+      detector.residual_stddev_.size() != detector.arch_.input_dim) {
+    throw std::runtime_error(
+        "AeDetector::load: residual statistics size mismatch");
+  }
+  return detector;
+}
+
+}  // namespace soteria::core

@@ -1,0 +1,50 @@
+#include "soteria/presets.h"
+
+namespace soteria::core {
+
+SoteriaConfig paper_config() {
+  SoteriaConfig config;  // defaults are already the paper's values
+  return config;
+}
+
+SoteriaConfig cpu_scaled_config() {
+  SoteriaConfig config;
+  config.pipeline.top_k = 500;
+  config.pipeline.walk.walks_per_labeling = 10;
+  // 1-grams (label visit distribution) on top of the paper's {2,3,4}:
+  // they carry most of the GEA signature at our corpus scale (see
+  // EXPERIMENTS.md) and stay within the paper's n-gram framework.
+  config.pipeline.gram_sizes = {1, 2, 3, 4};
+  config.autoencoder.width_scale = 0.1;  // 2000/3000/2000 -> 200/300/200
+  config.cnn.filters = 16;
+  config.cnn.dense_units = 128;
+  config.detector_training = nn::make_train_config(100, 64);
+  config.classifier_training = nn::make_train_config(12, 64);
+  config.training_vectors_per_sample = 3;
+  config.calibration_fraction = 0.30;
+  // Two-sigma threshold. The paper uses alpha = 1 on raw RMSE; our
+  // standardized-residual scores have a tighter clean distribution, so
+  // the a-priori two-sigma rule (chosen blind to test data, like the
+  // paper's rule) lands at the same operating regime. Fig. 13 sweeps
+  // the whole range.
+  config.detector_alpha = 2.0;
+  return config;
+}
+
+SoteriaConfig tiny_config() {
+  SoteriaConfig config;
+  config.pipeline.top_k = 60;
+  config.pipeline.walk.walks_per_labeling = 4;
+  config.pipeline.gram_sizes = {1, 2, 3};
+  config.autoencoder.hidden_dims = {48, 64, 48};
+  config.autoencoder.width_scale = 1.0;
+  config.cnn.filters = 6;
+  config.cnn.dense_units = 24;
+  config.detector_training = nn::make_train_config(10, 32);
+  config.classifier_training = nn::make_train_config(6, 32);
+  config.training_vectors_per_sample = 2;
+  config.calibration_fraction = 0.25;  // tiny corpora need >= 4 rows
+  return config;
+}
+
+}  // namespace soteria::core

@@ -1,0 +1,27 @@
+// Ready-made configurations at three scales.
+//
+//  * paper_config()      — the paper's architecture and training protocol
+//                          verbatim (GPU-sized; hours on one CPU core).
+//  * cpu_scaled_config() — the default for the bench harnesses: same
+//                          architecture *shape*, hidden widths and epochs
+//                          scaled to finish in minutes on one core.
+//                          EXPERIMENTS.md records this as the evaluation
+//                          configuration.
+//  * tiny_config()       — seconds-fast settings for unit tests and the
+//                          quickstart example.
+#pragma once
+
+#include "soteria/config.h"
+
+namespace soteria::core {
+
+/// Paper-exact configuration (Section III / IV training parameters).
+[[nodiscard]] SoteriaConfig paper_config();
+
+/// Single-core-budget configuration used by the bench harnesses.
+[[nodiscard]] SoteriaConfig cpu_scaled_config();
+
+/// Fast configuration for tests and examples.
+[[nodiscard]] SoteriaConfig tiny_config();
+
+}  // namespace soteria::core

@@ -1,0 +1,78 @@
+#include "soteria/report.h"
+
+#include "eval/table.h"
+
+namespace soteria::core {
+
+EvaluationReport evaluate_system(
+    SoteriaSystem& system, std::span<const dataset::Sample> clean,
+    std::span<const dataset::AdversarialExample> adversarial,
+    math::Rng& rng) {
+  EvaluationReport report;
+
+  for (const auto& sample : clean) {
+    const auto verdict = system.analyze(sample.cfg, rng);
+    const auto class_index = dataset::family_index(sample.family);
+    ++report.clean_total[class_index];
+    if (verdict.adversarial) {
+      ++report.clean_flagged[class_index];
+      ++report.detection.false_positives;
+    } else {
+      ++report.detection.true_negatives;
+      report.confusion.record(class_index,
+                              dataset::family_index(verdict.predicted));
+    }
+  }
+
+  for (const auto& ae : adversarial) {
+    const auto verdict = system.analyze(ae.cfg, rng);
+    const auto size_index = static_cast<std::size_t>(ae.target_size);
+    ++report.total_by_size[size_index];
+    if (verdict.adversarial) {
+      ++report.detection.true_positives;
+    } else {
+      ++report.detection.false_negatives;
+      ++report.missed_by_size[size_index];
+    }
+  }
+  return report;
+}
+
+std::string render_report(const EvaluationReport& report) {
+  std::string text;
+  text += "== Soteria evaluation ==\n";
+  text += "AE detection rate:        " +
+          eval::format_percent(report.detection_rate()) + "%\n";
+  text += "Clean false-positive rate: " +
+          eval::format_percent(report.detection.false_positive_rate()) +
+          "%\n";
+  text += "Classification accuracy:   " +
+          eval::format_percent(report.classification_accuracy()) + "%\n\n";
+
+  eval::Table per_class(
+      {"Class", "# Clean", "# Flagged", "Accuracy (passed) %"});
+  for (auto family : dataset::all_families()) {
+    const auto i = dataset::family_index(family);
+    per_class.add_row(
+        {dataset::family_name(family),
+         std::to_string(report.clean_total[i]),
+         std::to_string(report.clean_flagged[i]),
+         report.confusion.class_total(i) == 0
+             ? "-"
+             : eval::format_percent(report.confusion.class_accuracy(i))});
+  }
+  text += per_class.render("Per-class clean behaviour");
+
+  eval::Table per_size({"Target size", "# AEs", "# Missed"});
+  for (std::size_t s = 0; s < dataset::kTargetSizeCount; ++s) {
+    per_size.add_row(
+        {dataset::target_size_name(static_cast<dataset::TargetSize>(s)),
+         std::to_string(report.total_by_size[s]),
+         std::to_string(report.missed_by_size[s])});
+  }
+  text += "\n";
+  text += per_size.render("Adversarial examples by target size");
+  return text;
+}
+
+}  // namespace soteria::core

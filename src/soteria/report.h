@@ -1,0 +1,50 @@
+// Structured end-to-end evaluation of a trained system: one call scores
+// a clean test set and a set of adversarial examples and returns every
+// number the paper's evaluation section reports (detection stats,
+// per-class FP, confusion matrix over passed samples), plus a renderer.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "dataset/adversarial.h"
+#include "eval/metrics.h"
+#include "soteria/system.h"
+
+namespace soteria::core {
+
+/// Full evaluation result bundle.
+struct EvaluationReport {
+  /// Detector confusion over {clean, adversarial}.
+  eval::DetectionStats detection;
+  /// Clean samples flagged as adversarial, per class.
+  std::array<std::size_t, dataset::kFamilyCount> clean_flagged{};
+  std::array<std::size_t, dataset::kFamilyCount> clean_total{};
+  /// Family confusion over clean samples that passed the detector.
+  eval::ConfusionMatrix confusion{dataset::kFamilyCount};
+  /// Adversarial examples missed, per target size.
+  std::array<std::size_t, dataset::kTargetSizeCount> missed_by_size{};
+  std::array<std::size_t, dataset::kTargetSizeCount> total_by_size{};
+
+  /// Detector accuracy over AEs (the paper's headline number).
+  [[nodiscard]] double detection_rate() const noexcept {
+    return detection.detection_rate();
+  }
+  /// Classifier accuracy over passed clean samples (paper's 99.91%).
+  [[nodiscard]] double classification_accuracy() const noexcept {
+    return confusion.overall_accuracy();
+  }
+};
+
+/// Scores every clean sample and every AE through `system`. Fresh walks
+/// draw from `rng`; deterministic given its state.
+[[nodiscard]] EvaluationReport evaluate_system(
+    SoteriaSystem& system, std::span<const dataset::Sample> clean,
+    std::span<const dataset::AdversarialExample> adversarial,
+    math::Rng& rng);
+
+/// Renders the report as the familiar text block (detection, per-class
+/// FP, per-class accuracy, overall numbers).
+[[nodiscard]] std::string render_report(const EvaluationReport& report);
+
+}  // namespace soteria::core

@@ -1,0 +1,193 @@
+#include "soteria/system.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "io/binary_io.h"
+
+namespace soteria::core {
+
+math::Matrix combined_matrix(const features::SampleFeatures& features) {
+  if (features.dbl.empty() || features.lbl.empty()) {
+    throw std::invalid_argument("combined_matrix: empty feature bundle");
+  }
+  const std::size_t walks = std::min(features.dbl.size(),
+                                     features.lbl.size());
+  std::vector<std::vector<float>> rows;
+  rows.reserve(walks);
+  for (std::size_t w = 0; w < walks; ++w) {
+    rows.push_back(features.combined(w));
+  }
+  return pack_rows(rows);
+}
+
+math::Matrix pooled_matrix(const features::SampleFeatures& features) {
+  if (features.pooled_dbl.empty() && features.pooled_lbl.empty()) {
+    throw std::invalid_argument("pooled_matrix: empty feature bundle");
+  }
+  return pack_rows({features.pooled_combined()});
+}
+
+SoteriaSystem SoteriaSystem::train(
+    std::span<const dataset::Sample> training, const SoteriaConfig& config) {
+  validate(config);
+  if (training.empty()) {
+    throw std::invalid_argument("SoteriaSystem::train: empty training set");
+  }
+
+  SoteriaSystem system;
+  system.config_ = config;
+  math::Rng rng(config.seed);
+
+  // 1. Fit the feature pipeline (vocabularies) on the training CFGs.
+  std::vector<cfg::Cfg> train_cfgs;
+  train_cfgs.reserve(training.size());
+  for (const auto& s : training) train_cfgs.push_back(s.cfg);
+  math::Rng fit_rng = rng.fork(1);
+  system.pipeline_ =
+      features::FeaturePipeline::fit(train_cfgs, config.pipeline, fit_rng);
+
+  // 2. Extract training features once; assemble the detector's pooled
+  //    matrix and the classifiers' per-walk datasets. The last
+  //    `calibration_fraction` of the (shuffled) training samples is held
+  //    out from autoencoder fitting and used for threshold calibration.
+  const std::size_t vectors_per_sample = config.training_vectors_per_sample;
+  auto holdout_count = static_cast<std::size_t>(
+      config.calibration_fraction * static_cast<double>(training.size()));
+  holdout_count = std::min(std::max<std::size_t>(holdout_count, 1),
+                           training.size() - 1);
+  const std::size_t fit_count = training.size() - holdout_count;
+
+  std::vector<std::vector<float>> detector_rows;
+  std::vector<std::vector<float>> dbl_rows;
+  std::vector<std::vector<float>> lbl_rows;
+  std::vector<std::size_t> dbl_labels;
+  std::vector<std::size_t> lbl_labels;
+  detector_rows.reserve(fit_count);
+  dbl_rows.reserve(training.size() * vectors_per_sample);
+  lbl_rows.reserve(training.size() * vectors_per_sample);
+
+  math::Rng extract_rng = rng.fork(2);
+  for (std::size_t i = 0; i < training.size(); ++i) {
+    const auto& sample = training[i];
+    const auto features = system.pipeline_.extract(sample.cfg, extract_rng);
+    const std::size_t label = dataset::family_index(sample.family);
+    if (i < fit_count) {
+      detector_rows.push_back(features.pooled_combined());
+    }
+    const std::size_t walks =
+        std::min({vectors_per_sample, features.dbl.size(),
+                  features.lbl.size()});
+    for (std::size_t w = 0; w < walks; ++w) {
+      dbl_rows.push_back(features.dbl[w]);
+      lbl_rows.push_back(features.lbl[w]);
+      dbl_labels.push_back(label);
+      lbl_labels.push_back(label);
+    }
+  }
+
+  // Calibration vectors: *fresh* extractions (new walks) of the held-out
+  // samples, so the threshold sees both cross-sample and cross-walk
+  // variation.
+  std::vector<std::vector<float>> calibration_rows;
+  calibration_rows.reserve(holdout_count);
+  math::Rng calibration_rng = rng.fork(5);
+  for (std::size_t i = fit_count; i < training.size(); ++i) {
+    const auto features =
+        system.pipeline_.extract(training[i].cfg, calibration_rng);
+    calibration_rows.push_back(features.pooled_combined());
+  }
+
+  // 3. Train the detector on clean pooled vectors only.
+  math::Rng detector_rng = rng.fork(3);
+  system.detector_ = AeDetector::train(
+      pack_rows(detector_rows), pack_rows(calibration_rows),
+      config.autoencoder, config.detector_training, config.detector_alpha,
+      config.detector_learning_rate, detector_rng);
+
+  // 4. Train the two classifier CNNs.
+  LabeledVectors dbl{pack_rows(dbl_rows), std::move(dbl_labels)};
+  LabeledVectors lbl{pack_rows(lbl_rows), std::move(lbl_labels)};
+  math::Rng classifier_rng = rng.fork(4);
+  system.classifier_ = FamilyClassifier::train(
+      dbl, lbl, config.cnn, config.classifier_training,
+      config.classifier_learning_rate, classifier_rng);
+
+  return system;
+}
+
+features::SampleFeatures SoteriaSystem::extract(const cfg::Cfg& cfg,
+                                                math::Rng& rng) const {
+  return pipeline_.extract(cfg, rng);
+}
+
+Verdict SoteriaSystem::analyze_features(
+    const features::SampleFeatures& features) {
+  Verdict verdict;
+  verdict.reconstruction_error =
+      detector_.sample_error(pooled_matrix(features));
+  verdict.adversarial =
+      verdict.reconstruction_error > detector_.threshold();
+  verdict.predicted = classifier_.predict(features);
+  return verdict;
+}
+
+Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg, math::Rng& rng) {
+  return analyze_features(extract(cfg, rng));
+}
+
+namespace {
+constexpr std::uint32_t kSystemMagic = 0x534f5445;  // "SOTE"
+}
+
+void SoteriaSystem::save(std::ostream& out) {
+  io::write_scalar(out, kSystemMagic);
+  // Scalars of the SoteriaConfig; the nested architecture configs are
+  // stored by the components themselves.
+  io::write_scalar(out, config_.detector_alpha);
+  io::write_scalar(out, config_.detector_learning_rate);
+  io::write_scalar(out, config_.classifier_learning_rate);
+  io::write_scalar<std::uint64_t>(out, config_.training_vectors_per_sample);
+  io::write_scalar<std::uint64_t>(out, config_.seed);
+  pipeline_.save(out);
+  detector_.save(out);
+  classifier_.save(out);
+}
+
+SoteriaSystem SoteriaSystem::load(std::istream& in) {
+  if (io::read_scalar<std::uint32_t>(in) != kSystemMagic) {
+    throw std::runtime_error("SoteriaSystem::load: bad magic");
+  }
+  SoteriaSystem system;
+  system.config_.detector_alpha = io::read_scalar<double>(in);
+  system.config_.detector_learning_rate = io::read_scalar<double>(in);
+  system.config_.classifier_learning_rate = io::read_scalar<double>(in);
+  system.config_.training_vectors_per_sample =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  system.config_.seed = io::read_scalar<std::uint64_t>(in);
+  system.pipeline_ = features::FeaturePipeline::load(in);
+  system.config_.pipeline = system.pipeline_.config();
+  system.detector_ = AeDetector::load(in);
+  system.classifier_ = FamilyClassifier::load(in);
+  return system;
+}
+
+void SoteriaSystem::save_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("SoteriaSystem::save_file: cannot open " +
+                             path);
+  }
+  save(out);
+}
+
+SoteriaSystem SoteriaSystem::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("SoteriaSystem::load_file: cannot open " +
+                             path);
+  }
+  return load(in);
+}
+
+}  // namespace soteria::core

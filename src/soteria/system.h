@@ -1,0 +1,93 @@
+// End-to-end Soteria system (paper Fig. 2): feature extractor + AE
+// detector + family classifier behind one `train` / `analyze` API.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "dataset/sample.h"
+#include "features/pipeline.h"
+#include "soteria/classifier.h"
+#include "soteria/config.h"
+#include "soteria/detector.h"
+
+namespace soteria::core {
+
+/// The verdict for one analyzed sample.
+struct Verdict {
+  /// True if the detector flagged the sample; flagged samples are not
+  /// classified (the paper drops them before the classifier).
+  bool adversarial = false;
+  /// The detector's reconstruction-error score.
+  double reconstruction_error = 0.0;
+  /// Majority-vote family (valid also for flagged samples, for the
+  /// Table VIII "what would the classifier have said" analysis).
+  dataset::Family predicted = dataset::Family::kBenign;
+};
+
+class SoteriaSystem {
+ public:
+  /// Trains the full system on clean training samples: fits the feature
+  /// pipeline, trains the detector on combined vectors, and trains the
+  /// two classifier CNNs on per-walk vectors. Throws
+  /// std::invalid_argument on an empty training set or invalid config.
+  static SoteriaSystem train(std::span<const dataset::Sample> training,
+                             const SoteriaConfig& config);
+
+  /// Extracts features (fresh walks from `rng`) and runs detector +
+  /// classifier.
+  [[nodiscard]] Verdict analyze(const cfg::Cfg& cfg, math::Rng& rng);
+
+  /// Runs detector + classifier on pre-extracted features.
+  [[nodiscard]] Verdict analyze_features(
+      const features::SampleFeatures& features);
+
+  /// Feature extraction with this system's fitted pipeline.
+  [[nodiscard]] features::SampleFeatures extract(const cfg::Cfg& cfg,
+                                                 math::Rng& rng) const;
+
+  [[nodiscard]] const features::FeaturePipeline& pipeline() const noexcept {
+    return pipeline_;
+  }
+  [[nodiscard]] AeDetector& detector() noexcept { return detector_; }
+  [[nodiscard]] FamilyClassifier& classifier() noexcept {
+    return classifier_;
+  }
+  [[nodiscard]] const SoteriaConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Binary (de)serialization of the whole trained system (config,
+  /// vocabularies, detector, classifier). `load` throws
+  /// std::runtime_error on a corrupt stream.
+  void save(std::ostream& out);
+  [[nodiscard]] static SoteriaSystem load(std::istream& in);
+
+  /// File-path convenience wrappers. Throw std::runtime_error when the
+  /// file cannot be opened.
+  void save_file(const std::string& path);
+  [[nodiscard]] static SoteriaSystem load_file(const std::string& path);
+
+  /// Default-constructed untrained system; a placeholder until assigned
+  /// from train() or load().
+  SoteriaSystem() = default;
+
+ private:
+  SoteriaConfig config_;
+  features::FeaturePipeline pipeline_;
+  AeDetector detector_;
+  FamilyClassifier classifier_;
+};
+
+/// Packs a sample's combined per-walk vectors into a matrix (one row
+/// per walk).
+[[nodiscard]] math::Matrix combined_matrix(
+    const features::SampleFeatures& features);
+
+/// Packs a sample's pooled combined vector into a 1-row matrix — the
+/// detector's input.
+[[nodiscard]] math::Matrix pooled_matrix(
+    const features::SampleFeatures& features);
+
+}  // namespace soteria::core

@@ -1,0 +1,173 @@
+#include "cfg/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace soteria::cfg {
+namespace {
+
+using isa::AsmProgram;
+using isa::Opcode;
+
+std::vector<std::uint8_t> straight_line() {
+  AsmProgram p;
+  p.emit(Opcode::kMovImm, 0, 1);
+  p.emit(Opcode::kAdd, 0, 1);
+  p.emit(Opcode::kHalt);
+  return assemble(p);
+}
+
+TEST(Extractor, StraightLineIsOneBlock) {
+  const Cfg cfg = extract(straight_line());
+  EXPECT_EQ(cfg.node_count(), 1U);
+  EXPECT_EQ(cfg.edge_count(), 0U);
+  EXPECT_EQ(cfg.entry(), 0U);
+  ASSERT_TRUE(cfg.has_block_metadata());
+  EXPECT_EQ(cfg.blocks()[0].first_instruction, 0U);
+  EXPECT_EQ(cfg.blocks()[0].instruction_count, 3U);
+}
+
+TEST(Extractor, EmptyImageThrows) {
+  EXPECT_THROW((void)extract(std::vector<std::uint8_t>{}),
+               std::invalid_argument);
+  const std::vector<std::uint8_t> ragged{1, 2, 3};
+  EXPECT_THROW((void)extract(ragged), std::invalid_argument);
+}
+
+TEST(Extractor, BranchCreatesDiamond) {
+  AsmProgram p;
+  p.emit(Opcode::kCmpImm, 0, 5);
+  p.emit_branch(Opcode::kJz, "else");
+  p.emit(Opcode::kMovImm, 1, 1);   // then-block
+  p.emit_branch(Opcode::kJmp, "end");
+  p.define_label("else");
+  p.emit(Opcode::kMovImm, 1, 2);   // else-block
+  p.define_label("end");
+  p.emit(Opcode::kHalt);
+
+  const Cfg cfg = extract(assemble(p));
+  // Blocks: [cmp,jz], [mov,jmp], [mov], [halt].
+  EXPECT_EQ(cfg.node_count(), 4U);
+  EXPECT_EQ(cfg.edge_count(), 4U);
+  const auto& g = cfg.graph();
+  EXPECT_TRUE(g.has_edge(0, 1));  // fall-through
+  EXPECT_TRUE(g.has_edge(0, 2));  // taken branch
+  EXPECT_TRUE(g.has_edge(1, 3));  // jmp end
+  EXPECT_TRUE(g.has_edge(2, 3));  // fall-through
+}
+
+TEST(Extractor, LoopCreatesBackEdge) {
+  AsmProgram p;
+  p.define_label("head");
+  p.emit(Opcode::kCmpImm, 1, 0);
+  p.emit_branch(Opcode::kJz, "exit");
+  p.emit(Opcode::kSub, 1, 1);
+  p.emit_branch(Opcode::kJmp, "head");
+  p.define_label("exit");
+  p.emit(Opcode::kHalt);
+
+  const Cfg cfg = extract(assemble(p));
+  EXPECT_EQ(cfg.node_count(), 3U);
+  const auto& g = cfg.graph();
+  EXPECT_TRUE(g.has_edge(1, 0));  // back edge
+  EXPECT_TRUE(g.has_edge(0, 2));  // exit branch
+}
+
+TEST(Extractor, CallHasTargetAndFallThrough) {
+  AsmProgram p;
+  p.emit_branch(Opcode::kCall, "fn");
+  p.emit(Opcode::kHalt);
+  p.define_label("fn");
+  p.emit(Opcode::kRet);
+
+  const Cfg cfg = extract(assemble(p));
+  EXPECT_EQ(cfg.node_count(), 3U);
+  const auto& g = cfg.graph();
+  EXPECT_TRUE(g.has_edge(0, 2));  // call target
+  EXPECT_TRUE(g.has_edge(0, 1));  // return fall-through
+  EXPECT_EQ(g.out_degree(1), 0U);  // halt
+  EXPECT_EQ(g.out_degree(2), 0U);  // ret
+}
+
+TEST(Extractor, RetEndsBlockWithoutSuccessors) {
+  AsmProgram p;
+  p.emit(Opcode::kRet);
+  p.emit(Opcode::kNop);  // unreachable
+  const Cfg cfg = extract(assemble(p));
+  EXPECT_EQ(cfg.node_count(), 1U);  // nop pruned
+}
+
+// The paper's central extraction property: appended bytes that are
+// never reachable from the entry leave the CFG untouched.
+TEST(Extractor, AppendedCodeIsInvisible) {
+  AsmProgram p;
+  p.emit(Opcode::kCmpImm, 0, 5);
+  p.emit_branch(Opcode::kJz, "end");
+  p.emit(Opcode::kMovImm, 1, 1);
+  p.define_label("end");
+  p.emit(Opcode::kHalt);
+  auto image = assemble(p);
+  const Cfg before = extract(image);
+
+  // Append a "benign blob": lots of inert instructions.
+  AsmProgram blob;
+  for (int i = 0; i < 16; ++i) blob.emit(Opcode::kXor, 2, 7);
+  blob.emit(Opcode::kRet);
+  const auto blob_image = assemble(blob);
+  image.insert(image.end(), blob_image.begin(), blob_image.end());
+
+  const Cfg after = extract(image);
+  EXPECT_EQ(after.node_count(), before.node_count());
+  EXPECT_EQ(after.edge_count(), before.edge_count());
+}
+
+TEST(Extractor, UnprunedExtractionSeesAppendedCode) {
+  auto image = straight_line();
+  AsmProgram blob;
+  blob.emit(Opcode::kNop);
+  blob.emit(Opcode::kRet);
+  const auto blob_image = assemble(blob);
+  image.insert(image.end(), blob_image.begin(), blob_image.end());
+
+  ExtractOptions keep_all;
+  keep_all.prune_unreachable = false;
+  const Cfg full = extract(image, keep_all);
+  const Cfg pruned = extract(image);
+  EXPECT_GT(full.node_count(), pruned.node_count());
+}
+
+TEST(Extractor, OutOfRangeBranchTargetHasNoEdge) {
+  // Hand-encode a jmp far beyond the image.
+  std::vector<std::uint8_t> image;
+  isa::encode_to(isa::Instruction{Opcode::kJmp, 0, 100}, image);
+  const Cfg cfg = extract(image);
+  EXPECT_EQ(cfg.node_count(), 1U);
+  EXPECT_EQ(cfg.edge_count(), 0U);
+}
+
+TEST(Extractor, ConditionalAtImageEndKeepsTargetEdge) {
+  AsmProgram p;
+  p.define_label("top");
+  p.emit(Opcode::kNop);
+  p.emit_branch(Opcode::kJnz, "top");  // last instruction; no fall-through
+  const Cfg cfg = extract(assemble(p));
+  EXPECT_EQ(cfg.node_count(), 1U);
+  EXPECT_TRUE(cfg.graph().has_edge(0, 0));  // self loop back to top
+}
+
+TEST(Extractor, BlockMetadataCoversImage) {
+  AsmProgram p;
+  p.emit(Opcode::kCmpImm, 0, 1);
+  p.emit_branch(Opcode::kJz, "x");
+  p.emit(Opcode::kNop);
+  p.define_label("x");
+  p.emit(Opcode::kHalt);
+  const Cfg cfg = extract(assemble(p));
+  std::size_t covered = 0;
+  for (const auto& b : cfg.blocks()) covered += b.instruction_count;
+  EXPECT_EQ(covered, 4U);  // all reachable here
+}
+
+}  // namespace
+}  // namespace soteria::cfg

@@ -1,0 +1,88 @@
+// Robustness of the binary-facing layers against arbitrary input: the
+// disassembler, extractor, and VM must never crash, hang, or violate
+// their invariants on random byte images (malware analysis tooling is
+// fed hostile bytes by definition).
+#include <gtest/gtest.h>
+
+#include "cfg/extractor.h"
+#include "cfg/labeling.h"
+#include "graph/traversal.h"
+#include "isa/vm.h"
+#include "math/rng.h"
+
+namespace soteria::cfg {
+namespace {
+
+std::vector<std::uint8_t> random_image(std::size_t instructions,
+                                       math::Rng& rng) {
+  std::vector<std::uint8_t> image(instructions * isa::kInstructionSize);
+  for (auto& byte : image) {
+    byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return image;
+}
+
+class FuzzRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzRobustness, DisassembleNeverThrowsOnAlignedImages) {
+  math::Rng rng(GetParam());
+  const auto image = random_image(1 + rng.index(256), rng);
+  const auto insns = isa::disassemble(image);
+  EXPECT_EQ(insns.size(), image.size() / isa::kInstructionSize);
+}
+
+TEST_P(FuzzRobustness, ExtractorInvariantsHoldOnRandomBytes) {
+  math::Rng rng(GetParam() ^ 0x5eed);
+  const auto image = random_image(1 + rng.index(256), rng);
+  const Cfg cfg = extract(image);
+  ASSERT_GT(cfg.node_count(), 0U);
+  // Entry-reachability invariant survives arbitrary input.
+  const auto reach = graph::reachable_from(cfg.graph(), cfg.entry());
+  for (graph::NodeId v = 0; v < cfg.node_count(); ++v) {
+    EXPECT_TRUE(reach[v]);
+  }
+  // Labelings stay total orders over whatever came out.
+  const auto dbl = label_nodes(cfg, LabelingMethod::kDensity);
+  const auto lbl = label_nodes(cfg, LabelingMethod::kLevel);
+  EXPECT_EQ(dbl.size(), cfg.node_count());
+  EXPECT_EQ(lbl[cfg.entry()], 0U);
+}
+
+TEST_P(FuzzRobustness, VmAlwaysTerminatesWithinBudget) {
+  math::Rng rng(GetParam() ^ 0xf00d);
+  const auto image = random_image(1 + rng.index(128), rng);
+  isa::VmConfig config;
+  config.max_steps = 20'000;
+  const auto result = isa::execute(image, config);
+  // Any of the three statuses is legal for hostile bytes; what must
+  // hold is the budget.
+  EXPECT_LE(result.steps, config.max_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRobustness,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(FuzzRobustness, AllNopImage) {
+  const std::vector<std::uint8_t> image(64 * isa::kInstructionSize, 0);
+  const Cfg cfg = extract(image);
+  EXPECT_EQ(cfg.node_count(), 1U);  // one straight-line block
+  const auto result = isa::execute(image);
+  EXPECT_EQ(result.status, isa::VmStatus::kFault);  // runs off the end
+}
+
+TEST(FuzzRobustness, AllInvalidOpcodeImage) {
+  std::vector<std::uint8_t> image(16 * isa::kInstructionSize, 0xFF);
+  const Cfg cfg = extract(image);
+  EXPECT_EQ(cfg.node_count(), 1U);  // inert data words form one block
+}
+
+TEST(FuzzRobustness, SingleInstructionImages) {
+  for (std::uint8_t opcode : {0x01, 0x40, 0x51, 0x60}) {
+    const std::vector<std::uint8_t> image{opcode, 0, 0, 0};
+    EXPECT_NO_THROW((void)extract(image));
+    EXPECT_NO_THROW((void)isa::execute(image));
+  }
+}
+
+}  // namespace
+}  // namespace soteria::cfg

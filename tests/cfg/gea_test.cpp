@@ -1,0 +1,125 @@
+#include "cfg/gea.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "math/rng.h"
+
+namespace soteria::cfg {
+namespace {
+
+Cfg diamond_cfg() {
+  graph::DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return Cfg(std::move(g), 0);
+}
+
+Cfg chain_cfg(std::size_t n) {
+  math::Rng rng(1);
+  return Cfg(graph::chain_graph(n, 0, rng), 0);
+}
+
+TEST(Gea, CombinedSizeIsSumPlusTwo) {
+  const auto result = gea_combine(diamond_cfg(), chain_cfg(3));
+  EXPECT_EQ(result.combined.node_count(), 4U + 3U + 2U);
+}
+
+TEST(Gea, SharedEntryBranchesToBothEntries) {
+  const auto result = gea_combine(diamond_cfg(), chain_cfg(3));
+  const auto& g = result.combined.graph();
+  EXPECT_EQ(g.out_degree(result.shared_entry), 2U);
+  EXPECT_TRUE(g.has_edge(result.shared_entry, result.original_offset + 0));
+  EXPECT_TRUE(g.has_edge(result.shared_entry, result.target_offset + 0));
+  EXPECT_EQ(result.combined.entry(), result.shared_entry);
+}
+
+TEST(Gea, SharedExitJoinsBothExits) {
+  const auto result = gea_combine(diamond_cfg(), chain_cfg(3));
+  const auto& g = result.combined.graph();
+  EXPECT_EQ(g.out_degree(result.shared_exit), 0U);
+  // diamond exit = node 3; chain exit = node 2.
+  EXPECT_TRUE(g.has_edge(result.original_offset + 3, result.shared_exit));
+  EXPECT_TRUE(g.has_edge(result.target_offset + 2, result.shared_exit));
+}
+
+TEST(Gea, LobesKeepTheirInternalEdges) {
+  const Cfg original = diamond_cfg();
+  const Cfg target = chain_cfg(4);
+  const auto result = gea_combine(original, target);
+  const auto& g = result.combined.graph();
+  for (const auto& [u, v] : original.graph().edges()) {
+    EXPECT_TRUE(g.has_edge(result.original_offset + u,
+                           result.original_offset + v));
+  }
+  for (const auto& [u, v] : target.graph().edges()) {
+    EXPECT_TRUE(
+        g.has_edge(result.target_offset + u, result.target_offset + v));
+  }
+  // No cross-lobe edges except through shared entry/exit.
+  for (const auto& [u, v] : g.edges()) {
+    const bool u_original = u >= result.original_offset &&
+                            u < result.original_offset +
+                                    original.node_count();
+    const bool v_target = v >= result.target_offset &&
+                          v < result.target_offset + target.node_count();
+    EXPECT_FALSE(u_original && v_target);
+  }
+}
+
+TEST(Gea, EverythingReachableFromSharedEntry) {
+  math::Rng rng(3);
+  const Cfg a(graph::random_connected_dag_plus(12, 0.1, rng), 0);
+  const Cfg b(graph::random_connected_dag_plus(9, 0.1, rng), 0);
+  const auto result = gea_combine(a, b);
+  const auto reach = graph::reachable_from(result.combined.graph(),
+                                           result.combined.entry());
+  for (bool r : reach) EXPECT_TRUE(r);
+}
+
+TEST(Gea, EmptyCfgThrows) {
+  EXPECT_THROW((void)gea_combine(Cfg{}, diamond_cfg()),
+               std::invalid_argument);
+  EXPECT_THROW((void)gea_combine(diamond_cfg(), Cfg{}),
+               std::invalid_argument);
+}
+
+TEST(Gea, LoopOnlyCfgStillJoinsExit) {
+  // 2-cycle with no natural exit: the deepest node links to the shared
+  // exit instead.
+  graph::DiGraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const Cfg looper(std::move(g), 0);
+  const auto result = gea_combine(looper, diamond_cfg());
+  EXPECT_GT(result.combined.graph().in_degree(result.shared_exit), 1U);
+}
+
+TEST(Gea, SelfCombinationDoublesStructure) {
+  const Cfg d = diamond_cfg();
+  const auto result = gea_combine(d, d);
+  EXPECT_EQ(result.combined.node_count(), 10U);
+  EXPECT_EQ(result.combined.edge_count(), 2U * d.edge_count() + 2 + 2);
+}
+
+TEST(Cfg, ExitNodesFindsSinks) {
+  const Cfg d = diamond_cfg();
+  const auto exits = d.exit_nodes();
+  ASSERT_EQ(exits.size(), 1U);
+  EXPECT_EQ(exits[0], 3U);
+}
+
+TEST(Cfg, ConstructorValidation) {
+  graph::DiGraph g(2);
+  EXPECT_THROW(Cfg(g, 5), std::invalid_argument);
+  EXPECT_THROW(Cfg(g, 0, std::vector<BasicBlock>(3)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Cfg(g, 1));
+  EXPECT_NO_THROW(Cfg(graph::DiGraph{}, 0));  // empty graph, any entry
+}
+
+}  // namespace
+}  // namespace soteria::cfg

@@ -1,0 +1,95 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace soteria::eval {
+namespace {
+
+TEST(ConfusionMatrix, RecordsAndCounts) {
+  ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  cm.record(2, 2);
+  EXPECT_EQ(cm.total(), 4U);
+  EXPECT_EQ(cm.count(0, 1), 1U);
+  EXPECT_EQ(cm.count(0, 2), 0U);
+  EXPECT_EQ(cm.class_total(0), 2U);
+}
+
+TEST(ConfusionMatrix, Accuracies) {
+  ConfusionMatrix cm(2);
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  EXPECT_NEAR(cm.class_accuracy(0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, EmptyClassesAreZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(0), 0.0);
+}
+
+TEST(ConfusionMatrix, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // class 0: TP=3, FN=1; predictions of 0: 3 correct + 2 wrong.
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 0);
+  cm.record(1, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 3.0 / 4.0);
+  const double p = 0.6;
+  const double r = 0.75;
+  EXPECT_NEAR(cm.f1(0), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.record(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.record(0, 2), std::out_of_range);
+  EXPECT_THROW((void)cm.count(5, 0), std::out_of_range);
+  EXPECT_THROW((void)cm.class_total(5), std::out_of_range);
+  EXPECT_THROW((void)cm.precision(5), std::out_of_range);
+}
+
+TEST(ConfusionFrom, BuildsFromParallelArrays) {
+  const std::vector<std::size_t> truths{0, 1, 1, 0};
+  const std::vector<std::size_t> predictions{0, 1, 0, 0};
+  const auto cm = confusion_from(truths, predictions, 2);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.75);
+  const std::vector<std::size_t> short_preds{0};
+  EXPECT_THROW((void)confusion_from(truths, short_preds, 2),
+               std::invalid_argument);
+}
+
+TEST(DetectionStats, Rates) {
+  DetectionStats stats;
+  stats.true_positives = 90;
+  stats.false_negatives = 10;
+  stats.true_negatives = 95;
+  stats.false_positives = 5;
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 0.9);
+  EXPECT_DOUBLE_EQ(stats.false_positive_rate(), 0.05);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 185.0 / 200.0);
+  EXPECT_EQ(stats.total(), 200U);
+}
+
+TEST(DetectionStats, EmptyIsZero) {
+  const DetectionStats stats;
+  EXPECT_DOUBLE_EQ(stats.detection_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace soteria::eval

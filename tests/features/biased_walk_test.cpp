@@ -1,0 +1,101 @@
+#include "features/biased_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace soteria::features {
+namespace {
+
+cfg::Cfg diamond_cfg() {
+  graph::DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return cfg::Cfg(std::move(g), 0);
+}
+
+TEST(BiasedWalk, ConfigValidation) {
+  BiasedWalkConfig ok;
+  EXPECT_NO_THROW(validate(ok));
+  BiasedWalkConfig bad_p;
+  bad_p.return_parameter = 0.0;
+  EXPECT_THROW(validate(bad_p), std::invalid_argument);
+  BiasedWalkConfig bad_q;
+  bad_q.in_out_parameter = -1.0;
+  EXPECT_THROW(validate(bad_q), std::invalid_argument);
+}
+
+TEST(BiasedWalk, ProducesValidTransitions) {
+  const UndirectedView view(diamond_cfg());
+  math::Rng rng(1);
+  BiasedWalkConfig config;
+  config.return_parameter = 0.5;
+  config.in_out_parameter = 2.0;
+  const auto trace = biased_walk_nodes(view, 200, config, rng);
+  ASSERT_EQ(trace.size(), 201U);
+  EXPECT_EQ(trace.front(), view.entry());
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    const auto& nbrs = view.neighbors(trace[i]);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), trace[i + 1]) !=
+                nbrs.end());
+  }
+}
+
+TEST(BiasedWalk, HighReturnParameterSuppressesBacktracking) {
+  math::Rng rng(2);
+  const cfg::Cfg cfg(graph::chain_graph(12, 0, rng), 0);
+  const UndirectedView view(cfg);
+
+  const auto backtracks = [&](double p, std::uint64_t seed) {
+    math::Rng walk_rng(seed);
+    BiasedWalkConfig config;
+    config.return_parameter = p;
+    std::size_t count = 0;
+    const auto trace = biased_walk_nodes(view, 4000, config, walk_rng);
+    for (std::size_t i = 2; i < trace.size(); ++i) {
+      count += trace[i] == trace[i - 2] && trace[i] != trace[i - 1];
+    }
+    return count;
+  };
+  // p >> 1 penalizes returning to the previous node.
+  EXPECT_LT(backtracks(50.0, 3), backtracks(0.02, 3));
+}
+
+TEST(BiasedWalk, UnitParametersMatchUniformDistribution) {
+  // With p = q = 1 on a regular graph the stationary visit counts match
+  // the uniform walk's (degree-proportional).
+  const UndirectedView view(diamond_cfg());
+  math::Rng rng(4);
+  BiasedWalkConfig config;  // p = q = 1
+  std::array<std::size_t, 4> visits{};
+  const auto trace = biased_walk_nodes(view, 40000, config, rng);
+  for (graph::NodeId v : trace) ++visits[v];
+  for (std::size_t count : visits) {
+    EXPECT_NEAR(static_cast<double>(count) / trace.size(), 0.25, 0.02);
+  }
+}
+
+TEST(BiasedWalk, SingleNodeStaysPut) {
+  const cfg::Cfg lone(graph::DiGraph(1), 0);
+  const UndirectedView view(lone);
+  math::Rng rng(5);
+  const auto trace = biased_walk_nodes(view, 10, BiasedWalkConfig{}, rng);
+  for (graph::NodeId v : trace) EXPECT_EQ(v, 0U);
+}
+
+TEST(BiasedWalk, DeterministicGivenSeed) {
+  const UndirectedView view(diamond_cfg());
+  BiasedWalkConfig config;
+  config.in_out_parameter = 3.0;
+  math::Rng a(6);
+  math::Rng b(6);
+  EXPECT_EQ(biased_walk_nodes(view, 100, config, a),
+            biased_walk_nodes(view, 100, config, b));
+}
+
+}  // namespace
+}  // namespace soteria::features

@@ -1,0 +1,139 @@
+#include "features/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace soteria::features {
+namespace {
+
+cfg::Cfg diamond_cfg() {
+  graph::DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return cfg::Cfg(std::move(g), 0);
+}
+
+TEST(UndirectedView, BuildsSymmetricAdjacency) {
+  const UndirectedView view(diamond_cfg());
+  EXPECT_EQ(view.node_count(), 4U);
+  EXPECT_EQ(view.entry(), 0U);
+  const auto& n0 = view.neighbors(0);
+  EXPECT_EQ(n0.size(), 2U);
+  const auto& n3 = view.neighbors(3);
+  EXPECT_EQ(n3.size(), 2U);  // sees 1 and 2 despite edge direction
+}
+
+TEST(UndirectedView, EmptyCfgThrows) {
+  EXPECT_THROW(UndirectedView(cfg::Cfg{}), std::invalid_argument);
+}
+
+TEST(WalkConfig, Validation) {
+  WalkConfig ok;
+  EXPECT_NO_THROW(validate(ok));
+  WalkConfig bad_len;
+  bad_len.length_multiplier = 0.0;
+  EXPECT_THROW(validate(bad_len), std::invalid_argument);
+  WalkConfig bad_walks;
+  bad_walks.walks_per_labeling = 0;
+  EXPECT_THROW(validate(bad_walks), std::invalid_argument);
+}
+
+TEST(RandomWalk, HasRequestedLengthAndStartsAtEntry) {
+  const UndirectedView view(diamond_cfg());
+  math::Rng rng(1);
+  const auto trace = random_walk_nodes(view, 25, rng);
+  ASSERT_EQ(trace.size(), 26U);
+  EXPECT_EQ(trace.front(), 0U);
+}
+
+TEST(RandomWalk, EveryStepIsAnAdjacentNode) {
+  const UndirectedView view(diamond_cfg());
+  math::Rng rng(2);
+  const auto trace = random_walk_nodes(view, 100, rng);
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    const auto& nbrs = view.neighbors(trace[i]);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), trace[i + 1]) !=
+                nbrs.end())
+        << "illegal transition " << trace[i] << " -> " << trace[i + 1];
+  }
+}
+
+TEST(RandomWalk, SingleNodeGraphStaysPut) {
+  const cfg::Cfg lone(graph::DiGraph(1), 0);
+  const UndirectedView view(lone);
+  math::Rng rng(3);
+  const auto trace = random_walk_nodes(view, 10, rng);
+  ASSERT_EQ(trace.size(), 11U);
+  for (graph::NodeId v : trace) EXPECT_EQ(v, 0U);
+}
+
+TEST(RandomWalk, DeterministicGivenSeed) {
+  const UndirectedView view(diamond_cfg());
+  math::Rng a(7);
+  math::Rng b(7);
+  EXPECT_EQ(random_walk_nodes(view, 50, a), random_walk_nodes(view, 50, b));
+}
+
+TEST(RandomWalk, DifferentSeedsDiverge) {
+  const UndirectedView view(diamond_cfg());
+  math::Rng a(7);
+  math::Rng b(8);
+  EXPECT_NE(random_walk_nodes(view, 50, a), random_walk_nodes(view, 50, b));
+}
+
+TEST(RandomWalk, VisitsProportionalToDegree) {
+  // On the diamond's undirected view all nodes have degree 2, so long
+  // walks should spread roughly evenly.
+  const UndirectedView view(diamond_cfg());
+  math::Rng rng(9);
+  std::array<std::size_t, 4> visits{};
+  const auto trace = random_walk_nodes(view, 40000, rng);
+  for (graph::NodeId v : trace) ++visits[v];
+  for (std::size_t count : visits) {
+    EXPECT_NEAR(static_cast<double>(count) / trace.size(), 0.25, 0.02);
+  }
+}
+
+TEST(ApplyLabels, MapsThrough) {
+  const std::vector<graph::NodeId> nodes{0, 2, 1};
+  const std::vector<cfg::Label> labels{5, 6, 7};
+  const auto mapped = apply_labels(nodes, labels);
+  EXPECT_EQ(mapped, (std::vector<cfg::Label>{5, 7, 6}));
+}
+
+TEST(ApplyLabels, ThrowsOnShortTable) {
+  const std::vector<graph::NodeId> nodes{0, 9};
+  const std::vector<cfg::Label> labels{1, 2};
+  EXPECT_THROW((void)apply_labels(nodes, labels), std::out_of_range);
+}
+
+TEST(LabeledWalks, ShapeMatchesConfig) {
+  const auto cfg = diamond_cfg();
+  const auto labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kLevel);
+  WalkConfig config;
+  config.walks_per_labeling = 4;
+  config.length_multiplier = 3.0;
+  math::Rng rng(4);
+  const auto walks = labeled_walks(cfg, labels, config, rng);
+  ASSERT_EQ(walks.size(), 4U);
+  for (const auto& walk : walks) {
+    EXPECT_EQ(walk.size(), 3 * 4 + 1);  // 3 * |V| steps + start
+  }
+}
+
+TEST(LabeledWalks, PaperLengthIsFiveTimesNodes) {
+  const auto cfg = diamond_cfg();
+  const auto labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kDensity);
+  math::Rng rng(5);
+  const auto walks = labeled_walks(cfg, labels, WalkConfig{}, rng);
+  ASSERT_EQ(walks.size(), 10U);
+  EXPECT_EQ(walks[0].size(), 5 * 4 + 1);
+}
+
+}  // namespace
+}  // namespace soteria::features

@@ -1,0 +1,168 @@
+// Property tests for the randomization/stability trade-off the paper's
+// defense rests on: fresh walks give *different* vectors (an adversary
+// cannot predict them) that are nevertheless *close in distribution*
+// (the classifier stays stable), while structural attacks move vectors
+// further than walk noise does.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cfg/extractor.h"
+#include "cfg/gea.h"
+#include "dataset/family_profiles.h"
+#include "dataset/generator.h"
+#include "features/pipeline.h"
+
+namespace soteria::features {
+namespace {
+
+double cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+struct Corpus {
+  std::vector<dataset::Sample> samples;
+  FeaturePipeline pipeline;
+};
+
+Corpus make_corpus() {
+  math::Rng rng(91);
+  Corpus corpus;
+  for (int i = 0; i < 10; ++i) {
+    for (auto family : dataset::all_families()) {
+      corpus.samples.push_back(
+          dataset::generate_sample(family, corpus.samples.size(), rng));
+    }
+  }
+  std::vector<cfg::Cfg> cfgs;
+  for (const auto& s : corpus.samples) cfgs.push_back(s.cfg);
+  PipelineConfig config;
+  config.top_k = 200;
+  config.gram_sizes = {1, 2, 3};
+  config.walk.walks_per_labeling = 6;
+  corpus.pipeline = FeaturePipeline::fit(cfgs, config, rng);
+  return corpus;
+}
+
+class StabilityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { corpus_ = new Corpus(make_corpus()); }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static Corpus* corpus_;
+};
+
+Corpus* StabilityTest::corpus_ = nullptr;
+
+TEST_F(StabilityTest, FreshWalksDifferButStayClose) {
+  math::Rng rng(92);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& sample = corpus_->samples[i];
+    const auto a = corpus_->pipeline.extract(sample.cfg, rng);
+    const auto b = corpus_->pipeline.extract(sample.cfg, rng);
+    EXPECT_NE(a.pooled_dbl, b.pooled_dbl);  // randomization property
+    // 6 pooled walks leave ~0.8-0.9 cosine self-similarity; anything
+    // below 0.7 would mean the features carry no stable signal.
+    EXPECT_GT(cosine(a.pooled_combined(), b.pooled_combined()), 0.7)
+        << "sample " << i << " pooled vectors drifted too far";
+  }
+}
+
+TEST_F(StabilityTest, GeaMovesVectorsMoreThanWalkNoise) {
+  math::Rng rng(93);
+  double self_similarity = 0.0;
+  double attack_similarity = 0.0;
+  int count = 0;
+  for (std::size_t i = 0; i + 1 < corpus_->samples.size() && count < 8;
+       i += 2, ++count) {
+    const auto& sample = corpus_->samples[i];
+    const auto& donor = corpus_->samples[i + 1];
+    const auto base = corpus_->pipeline.extract(sample.cfg, rng);
+    const auto again = corpus_->pipeline.extract(sample.cfg, rng);
+    const auto attacked = corpus_->pipeline.extract(
+        cfg::gea_combine(sample.cfg, donor.cfg).combined, rng);
+    self_similarity += cosine(base.pooled_combined(),
+                              again.pooled_combined());
+    attack_similarity += cosine(base.pooled_combined(),
+                                attacked.pooled_combined());
+  }
+  EXPECT_GT(self_similarity / count, attack_similarity / count)
+      << "GEA should move feature vectors further than walk noise";
+}
+
+TEST_F(StabilityTest, StrainMatesCloserThanCrossFamilyOnAverage) {
+  // Strain-mates (mutations of one template — how the corpus is built)
+  // must sit closer in feature space than cross-family pairs; this is
+  // what both the detector's clean manifold and the classifier rely on.
+  math::Rng rng(94);
+  isa::MutationConfig mutation;
+  std::vector<std::vector<float>> gafgyt;
+  for (int i = 0; i < 6; ++i) {
+    const auto mate = dataset::generate_variant_sample(
+        dataset::Family::kGafgyt, 1000 + i, /*variant_seed=*/777,
+        mutation, rng);
+    gafgyt.push_back(
+        corpus_->pipeline.extract(mate.cfg, rng).pooled_combined());
+  }
+  std::vector<std::vector<float>> mirai;
+  for (const auto& s : corpus_->samples) {
+    if (s.family == dataset::Family::kMirai && mirai.size() < 6) {
+      mirai.push_back(
+          corpus_->pipeline.extract(s.cfg, rng).pooled_combined());
+    }
+  }
+  double within = 0.0;
+  int within_count = 0;
+  for (std::size_t i = 0; i < gafgyt.size(); ++i) {
+    for (std::size_t j = i + 1; j < gafgyt.size(); ++j) {
+      within += cosine(gafgyt[i], gafgyt[j]);
+      ++within_count;
+    }
+  }
+  double across = 0.0;
+  int across_count = 0;
+  for (const auto& g : gafgyt) {
+    for (const auto& m : mirai) {
+      across += cosine(g, m);
+      ++across_count;
+    }
+  }
+  EXPECT_GT(within / within_count, across / across_count);
+}
+
+TEST_F(StabilityTest, AppendAttackLeavesFeaturesIdentical) {
+  // System-level statement of the extractor's pruning property: a
+  // sample padded with unreachable bytes yields the *same CFG*, hence
+  // identical features under identical walk seeds.
+  math::Rng pad_rng(95);
+  const auto& sample = corpus_->samples[0];
+  auto padded_binary = sample.binary;
+  for (int i = 0; i < 64; ++i) {
+    padded_binary.push_back(0x10);  // movimm opcodes, never reachable
+    padded_binary.push_back(0);
+    padded_binary.push_back(42);
+    padded_binary.push_back(0);
+  }
+  const auto padded_cfg = cfg::extract(padded_binary);
+  math::Rng walks_a(96);
+  math::Rng walks_b(96);
+  const auto original = corpus_->pipeline.extract(sample.cfg, walks_a);
+  const auto padded = corpus_->pipeline.extract(padded_cfg, walks_b);
+  EXPECT_EQ(original.pooled_dbl, padded.pooled_dbl);
+  EXPECT_EQ(original.pooled_lbl, padded.pooled_lbl);
+  EXPECT_EQ(original.dbl, padded.dbl);
+}
+
+}  // namespace
+}  // namespace soteria::features

@@ -1,0 +1,133 @@
+#include "features/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace soteria::features {
+namespace {
+
+GramCounts make_counts(
+    std::initializer_list<std::pair<std::vector<cfg::Label>, std::uint32_t>>
+        entries) {
+  GramCounts counts;
+  for (const auto& [labels, count] : entries) {
+    counts[pack_gram(labels)] = count;
+  }
+  return counts;
+}
+
+TEST(Vocabulary, SelectsTopKByTotalFrequency) {
+  std::vector<GramCounts> corpus{
+      make_counts({{{1, 2}, 10}, {{2, 3}, 5}, {{3, 4}, 1}}),
+      make_counts({{{1, 2}, 10}, {{2, 3}, 5}}),
+  };
+  const auto vocab = Vocabulary::build(corpus, 2);
+  EXPECT_EQ(vocab.size(), 2U);
+  EXPECT_TRUE(vocab.index_of(pack_gram(std::vector<cfg::Label>{1, 2}))
+                  .has_value());
+  EXPECT_TRUE(vocab.index_of(pack_gram(std::vector<cfg::Label>{2, 3}))
+                  .has_value());
+  EXPECT_FALSE(vocab.index_of(pack_gram(std::vector<cfg::Label>{3, 4}))
+                   .has_value());
+  // Most frequent gram gets index 0.
+  EXPECT_EQ(*vocab.index_of(pack_gram(std::vector<cfg::Label>{1, 2})), 0U);
+  EXPECT_EQ(vocab.frequencies()[0], 20U);
+}
+
+TEST(Vocabulary, KeepsFewerWhenCorpusIsSmall) {
+  std::vector<GramCounts> corpus{make_counts({{{1, 2}, 3}})};
+  const auto vocab = Vocabulary::build(corpus, 500);
+  EXPECT_EQ(vocab.size(), 1U);
+}
+
+TEST(Vocabulary, TieBrokenByKeyForDeterminism) {
+  std::vector<GramCounts> corpus{
+      make_counts({{{5, 5}, 4}, {{1, 1}, 4}, {{9, 9}, 4}})};
+  const auto a = Vocabulary::build(corpus, 2);
+  const auto b = Vocabulary::build(corpus, 2);
+  EXPECT_EQ(a.grams(), b.grams());
+  // Lower key wins the tie.
+  EXPECT_EQ(a.grams()[0], pack_gram(std::vector<cfg::Label>{1, 1}));
+}
+
+TEST(Vocabulary, BuildValidation) {
+  EXPECT_THROW((void)Vocabulary::build({}, 10), std::invalid_argument);
+  std::vector<GramCounts> corpus{make_counts({{{1, 2}, 1}})};
+  EXPECT_THROW((void)Vocabulary::build(corpus, 0), std::invalid_argument);
+}
+
+TEST(Vocabulary, IdfIsSmoothedLog) {
+  // Gram A in both docs, gram B in one of two docs.
+  std::vector<GramCounts> corpus{
+      make_counts({{{1, 2}, 5}, {{2, 3}, 1}}),
+      make_counts({{{1, 2}, 5}}),
+  };
+  const auto vocab = Vocabulary::build(corpus, 2);
+  const auto idx_a = *vocab.index_of(pack_gram(std::vector<cfg::Label>{1, 2}));
+  const auto idx_b = *vocab.index_of(pack_gram(std::vector<cfg::Label>{2, 3}));
+  EXPECT_NEAR(vocab.idf()[idx_a], std::log(3.0 / 3.0) + 1.0, 1e-12);
+  EXPECT_NEAR(vocab.idf()[idx_b], std::log(3.0 / 2.0) + 1.0, 1e-12);
+  EXPECT_GT(vocab.idf()[idx_b], vocab.idf()[idx_a]);  // rarer = heavier
+}
+
+TEST(Vocabulary, TfidfVectorIsUnitNorm) {
+  std::vector<GramCounts> corpus{
+      make_counts({{{1, 2}, 5}, {{2, 3}, 3}, {{3, 4}, 2}})};
+  const auto vocab = Vocabulary::build(corpus, 3);
+  const auto vec = vocab.tfidf_vector(corpus[0]);
+  ASSERT_EQ(vec.size(), 3U);
+  double norm = 0.0;
+  for (float x : vec) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-5);
+}
+
+TEST(Vocabulary, TfidfWithoutNormalizationKeepsMassFraction) {
+  std::vector<GramCounts> corpus{make_counts({{{1, 2}, 1}})};
+  const auto vocab = Vocabulary::build(corpus, 1);
+  // Sample where the vocab gram is only half the mass.
+  const auto sample = make_counts({{{1, 2}, 2}, {{7, 7}, 2}});
+  const auto vec = vocab.tfidf_vector(sample, /*l2_normalize=*/false);
+  // tf = 2/4, idf = ln(2/2)+1 = 1.
+  EXPECT_NEAR(vec[0], 0.5F, 1e-6);
+}
+
+TEST(Vocabulary, TfidfOfEmptyCountsIsZero) {
+  std::vector<GramCounts> corpus{make_counts({{{1, 2}, 1}})};
+  const auto vocab = Vocabulary::build(corpus, 1);
+  const auto vec = vocab.tfidf_vector(GramCounts{});
+  EXPECT_FLOAT_EQ(vec[0], 0.0F);
+}
+
+TEST(Vocabulary, UnknownGramsAreIgnoredButCountInTotal) {
+  std::vector<GramCounts> corpus{make_counts({{{1, 2}, 4}})};
+  const auto vocab = Vocabulary::build(corpus, 1);
+  const auto with_noise = make_counts({{{1, 2}, 4}, {{8, 8}, 4}});
+  const auto clean = make_counts({{{1, 2}, 4}});
+  const auto v_noise = vocab.tfidf_vector(with_noise, false);
+  const auto v_clean = vocab.tfidf_vector(clean, false);
+  EXPECT_LT(v_noise[0], v_clean[0]);  // diluted term frequency
+}
+
+TEST(Vocabulary, SaveLoadRoundTrips) {
+  std::vector<GramCounts> corpus{
+      make_counts({{{1, 2}, 5}, {{2, 3}, 3}, {{1, 2, 3}, 2}})};
+  const auto vocab = Vocabulary::build(corpus, 3);
+  std::stringstream stream;
+  vocab.save(stream);
+  const auto loaded = Vocabulary::load(stream);
+  EXPECT_EQ(loaded.grams(), vocab.grams());
+  EXPECT_EQ(loaded.frequencies(), vocab.frequencies());
+  EXPECT_EQ(loaded.idf(), vocab.idf());
+  EXPECT_EQ(loaded.tfidf_vector(corpus[0]), vocab.tfidf_vector(corpus[0]));
+}
+
+TEST(Vocabulary, LoadRejectsTruncatedStream) {
+  std::stringstream stream;
+  stream.write("junk", 4);
+  EXPECT_THROW((void)Vocabulary::load(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace soteria::features

@@ -1,0 +1,131 @@
+#include "graph/dominators.h"
+
+#include <gtest/gtest.h>
+
+#include "cfg/extractor.h"
+#include "dataset/family_profiles.h"
+#include "graph/generators.h"
+#include "isa/codegen.h"
+#include "math/rng.h"
+
+namespace soteria::graph {
+namespace {
+
+// 0 -> {1, 2} -> 3 -> 4 with back edge 4 -> 3.
+DiGraph diamond_with_loop() {
+  DiGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  return g;
+}
+
+TEST(Dominators, DiamondJoinIsDominatedByFork) {
+  const auto idom = immediate_dominators(diamond_with_loop(), 0);
+  EXPECT_EQ(idom[0], 0U);  // entry dominates itself
+  EXPECT_EQ(idom[1], 0U);
+  EXPECT_EQ(idom[2], 0U);
+  EXPECT_EQ(idom[3], 0U);  // join is dominated by the fork, not a branch
+  EXPECT_EQ(idom[4], 3U);
+}
+
+TEST(Dominators, ChainIsLinear) {
+  math::Rng rng(1);
+  const auto g = chain_graph(5, 0, rng);
+  const auto idom = immediate_dominators(g, 0);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(idom[v], v - 1);
+}
+
+TEST(Dominators, UnreachableNodesHaveNoDominator) {
+  DiGraph g(3);
+  g.add_edge(0, 1);
+  const auto idom = immediate_dominators(g, 0);
+  EXPECT_EQ(idom[2], kNoDominator);
+  EXPECT_FALSE(dominates(idom, 0, 2));
+}
+
+TEST(Dominators, DominatesIsReflexiveAndChains) {
+  const auto idom = immediate_dominators(diamond_with_loop(), 0);
+  EXPECT_TRUE(dominates(idom, 3, 3));
+  EXPECT_TRUE(dominates(idom, 0, 4));
+  EXPECT_TRUE(dominates(idom, 3, 4));
+  EXPECT_FALSE(dominates(idom, 1, 3));  // other branch exists
+  EXPECT_FALSE(dominates(idom, 4, 3));
+  EXPECT_THROW((void)dominates(idom, 9, 0), std::out_of_range);
+}
+
+TEST(Dominators, Validation) {
+  EXPECT_THROW((void)immediate_dominators(DiGraph{}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)immediate_dominators(DiGraph(2), 5),
+               std::out_of_range);
+}
+
+TEST(NaturalLoops, FindsSelfLoop) {
+  DiGraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  const auto loops = natural_loops(g, 0);
+  ASSERT_EQ(loops.size(), 1U);
+  EXPECT_EQ(loops[0].header, 1U);
+  EXPECT_EQ(loops[0].body, (std::vector<NodeId>{1}));
+}
+
+TEST(NaturalLoops, FindsWhileLoopBody) {
+  const auto loops = natural_loops(diamond_with_loop(), 0);
+  ASSERT_EQ(loops.size(), 1U);
+  EXPECT_EQ(loops[0].header, 3U);
+  EXPECT_EQ(loops[0].body, (std::vector<NodeId>{3, 4}));
+}
+
+TEST(NaturalLoops, AcyclicGraphHasNone) {
+  const auto tree = binary_tree(3);
+  EXPECT_TRUE(natural_loops(tree, 0).empty());
+}
+
+TEST(NaturalLoops, NestedLoopsReportBoth) {
+  // 0 -> 1 -> 2 -> 1 (inner), 2 -> 3 -> 0? use header-dominated outer:
+  // 0 -> 1 -> 2; 2 -> 1 (inner back edge); 2 -> 3; 3 -> 1? 1 dominates 3
+  // -> that is a second loop with the same header. Build a clean
+  // two-level nest instead: 0->1->2->3, 3->2 (inner), 3->1 (outer).
+  DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(3, 1);
+  const auto loops = natural_loops(g, 0);
+  ASSERT_EQ(loops.size(), 2U);
+  EXPECT_EQ(loops[0].header, 1U);
+  EXPECT_EQ(loops[0].body, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(loops[1].header, 2U);
+  EXPECT_EQ(loops[1].body, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(NaturalLoops, GeneratedFirmwareLoopsHaveDominatedHeaders) {
+  // Property over real generated CFGs: every reported loop's header
+  // dominates its entire body.
+  math::Rng rng(7);
+  for (auto family :
+       {dataset::Family::kMirai, dataset::Family::kBenign}) {
+    const auto binary =
+        isa::generate_binary(dataset::profile_for(family), rng);
+    const auto cfg = cfg::extract(binary);
+    const auto idom = immediate_dominators(cfg.graph(), cfg.entry());
+    const auto loops = natural_loops(cfg.graph(), cfg.entry());
+    for (const auto& loop : loops) {
+      for (NodeId v : loop.body) {
+        EXPECT_TRUE(dominates(idom, loop.header, v));
+      }
+    }
+    // Mirai's profile is loop-heavy; benign less so, but generated
+    // while-loops guarantee at least one loop in most programs. Only
+    // assert non-crash + the property above for robustness.
+  }
+}
+
+}  // namespace
+}  // namespace soteria::graph

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/vm.h"
+
+namespace soteria::isa {
+namespace {
+
+TEST(VmHotspots, DisabledByDefault) {
+  AsmProgram p;
+  p.emit(Opcode::kNop);
+  p.emit(Opcode::kHalt);
+  const auto result = execute(assemble(p));
+  EXPECT_TRUE(result.hotspots.empty());
+}
+
+TEST(VmHotspots, RanksLoopBodyFirst) {
+  AsmProgram p;
+  p.emit(Opcode::kMovImm, 2, 1);
+  p.emit(Opcode::kMovImm, 1, 50);
+  p.define_label("head");
+  p.emit(Opcode::kCmpImm, 1, 0);
+  p.emit_branch(Opcode::kJz, "end");
+  p.emit(Opcode::kXor, 3, 3);  // loop body marker
+  p.emit(Opcode::kSub, 1, 2);
+  p.emit_branch(Opcode::kJmp, "head");
+  p.define_label("end");
+  p.emit(Opcode::kHalt);
+
+  VmConfig config;
+  config.record_hotspots = true;
+  config.hotspot_count = 3;
+  const auto result = execute(assemble(p), config);
+  ASSERT_EQ(result.status, VmStatus::kHalted);
+  ASSERT_EQ(result.hotspots.size(), 3U);
+  // The loop instructions (indices 2..6) dominate; each ran ~50 times.
+  for (const auto& [index, count] : result.hotspots) {
+    EXPECT_GE(index, 2U);
+    EXPECT_LE(index, 6U);
+    EXPECT_GE(count, 50U);
+  }
+  // Sorted hottest-first.
+  for (std::size_t i = 1; i < result.hotspots.size(); ++i) {
+    EXPECT_GE(result.hotspots[i - 1].second, result.hotspots[i].second);
+  }
+}
+
+TEST(VmHotspots, ReportedEvenOnStepLimit) {
+  AsmProgram p;
+  p.define_label("spin");
+  p.emit(Opcode::kNop);
+  p.emit_branch(Opcode::kJmp, "spin");
+  VmConfig config;
+  config.record_hotspots = true;
+  config.max_steps = 500;
+  const auto result = execute(assemble(p), config);
+  EXPECT_EQ(result.status, VmStatus::kStepLimit);
+  ASSERT_FALSE(result.hotspots.empty());
+  EXPECT_GE(result.hotspots.front().second, 200U);
+}
+
+TEST(VmHotspots, CapRespected) {
+  AsmProgram p;
+  for (int i = 0; i < 10; ++i) p.emit(Opcode::kNop);
+  p.emit(Opcode::kHalt);
+  VmConfig config;
+  config.record_hotspots = true;
+  config.hotspot_count = 4;
+  const auto result = execute(assemble(p), config);
+  EXPECT_LE(result.hotspots.size(), 4U);
+}
+
+}  // namespace
+}  // namespace soteria::isa

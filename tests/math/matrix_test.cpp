@@ -1,0 +1,196 @@
+#include "math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.h"
+
+namespace soteria::math {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  const Matrix m;
+  EXPECT_EQ(m.rows(), 0U);
+  EXPECT_EQ(m.cols(), 0U);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  const Matrix m(2, 3, 1.5F);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  EXPECT_EQ(m.size(), 6U);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(m(r, c), 1.5F);
+  }
+}
+
+TEST(Matrix, ValueConstructorRowMajor) {
+  const Matrix m(2, 2, {1.0F, 2.0F, 3.0F, 4.0F});
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0F);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0F);
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0F);
+}
+
+TEST(Matrix, ValueConstructorSizeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 2, {1.0F, 2.0F}), std::invalid_argument);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW((void)m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0F;
+  EXPECT_FLOAT_EQ(m(1, 2), 9.0F);
+  EXPECT_THROW((void)m.row(2), std::out_of_range);
+}
+
+TEST(Matrix, AddSubtract) {
+  Matrix a(1, 3, {1.0F, 2.0F, 3.0F});
+  const Matrix b(1, 3, {10.0F, 20.0F, 30.0F});
+  a += b;
+  EXPECT_FLOAT_EQ(a(0, 1), 22.0F);
+  a -= b;
+  EXPECT_FLOAT_EQ(a(0, 1), 2.0F);
+}
+
+TEST(Matrix, AddShapeMismatchThrows) {
+  Matrix a(1, 3);
+  const Matrix b(3, 1);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, Hadamard) {
+  const Matrix a(1, 3, {1.0F, 2.0F, 3.0F});
+  const Matrix b(1, 3, {2.0F, 3.0F, 4.0F});
+  const Matrix c = a.hadamard(b);
+  EXPECT_FLOAT_EQ(c(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(c(0, 2), 12.0F);
+  EXPECT_THROW((void)a.hadamard(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, ScalarScale) {
+  Matrix a(1, 2, {2.0F, -4.0F});
+  a *= 0.5F;
+  EXPECT_FLOAT_EQ(a(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(a(0, 1), -2.0F);
+}
+
+TEST(Matrix, AddRowVectorBroadcasts) {
+  Matrix m(2, 2, {1.0F, 2.0F, 3.0F, 4.0F});
+  const std::vector<float> v{10.0F, 20.0F};
+  m.add_row_vector(v);
+  EXPECT_FLOAT_EQ(m(0, 0), 11.0F);
+  EXPECT_FLOAT_EQ(m(1, 1), 24.0F);
+  const std::vector<float> bad{1.0F};
+  EXPECT_THROW(m.add_row_vector(bad), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3U);
+  EXPECT_EQ(t.cols(), 2U);
+  EXPECT_FLOAT_EQ(t(2, 1), 6.0F);
+  EXPECT_FLOAT_EQ(t(0, 1), 4.0F);
+}
+
+TEST(Matrix, ColumnSums) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto sums = m.column_sums();
+  ASSERT_EQ(sums.size(), 3U);
+  EXPECT_FLOAT_EQ(sums[0], 5.0F);
+  EXPECT_FLOAT_EQ(sums[2], 9.0F);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m(1, 2, {3.0F, 4.0F});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Matrix, ApplyTransformsElements) {
+  Matrix m(1, 3, {1.0F, -2.0F, 3.0F});
+  m.apply([](float x) { return x * x; });
+  EXPECT_FLOAT_EQ(m(0, 1), 4.0F);
+}
+
+TEST(Matrix, FillRandomRanges) {
+  Rng rng(1);
+  Matrix m(10, 10);
+  m.fill_uniform(rng, -1.0F, 1.0F);
+  for (float x : m.data()) {
+    EXPECT_GE(x, -1.0F);
+    EXPECT_LT(x, 1.0F);
+  }
+}
+
+TEST(Matmul, MatchesHandComputedProduct) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = matmul(a, b);
+  ASSERT_EQ(c.rows(), 2U);
+  ASSERT_EQ(c.cols(), 2U);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0F);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0F);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0F);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0F);
+}
+
+TEST(Matmul, ThrowsOnDimensionMismatch) {
+  EXPECT_THROW((void)matmul(Matrix(2, 3), Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(Matmul, VariantsAgreeWithExplicitTransposes) {
+  Rng rng(3);
+  Matrix a(4, 6);
+  Matrix b(6, 5);
+  a.fill_normal(rng, 0.0F, 1.0F);
+  b.fill_normal(rng, 0.0F, 1.0F);
+  const Matrix reference = matmul(a, b);
+
+  const Matrix via_bt = matmul_bt(a, b.transposed());
+  const Matrix via_at = matmul_at(a.transposed(), b);
+  for (std::size_t r = 0; r < reference.rows(); ++r) {
+    for (std::size_t c = 0; c < reference.cols(); ++c) {
+      EXPECT_NEAR(via_bt(r, c), reference(r, c), 1e-4);
+      EXPECT_NEAR(via_at(r, c), reference(r, c), 1e-4);
+    }
+  }
+}
+
+TEST(Matmul, BtAtThrowOnMismatch) {
+  EXPECT_THROW((void)matmul_bt(Matrix(2, 3), Matrix(4, 5)),
+               std::invalid_argument);
+  EXPECT_THROW((void)matmul_at(Matrix(2, 3), Matrix(4, 5)),
+               std::invalid_argument);
+}
+
+TEST(Matvec, MatchesMatmul) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<float> x{1.0F, 0.5F, 2.0F};
+  const auto y = matvec(m, x);
+  ASSERT_EQ(y.size(), 2U);
+  EXPECT_FLOAT_EQ(y[0], 8.0F);
+  EXPECT_FLOAT_EQ(y[1], 18.5F);
+  const std::vector<float> bad{1.0F};
+  EXPECT_THROW((void)matvec(m, bad), std::invalid_argument);
+}
+
+TEST(Matrix, EqualityIsStructural) {
+  const Matrix a(1, 2, {1.0F, 2.0F});
+  const Matrix b(1, 2, {1.0F, 2.0F});
+  const Matrix c(1, 2, {1.0F, 3.0F});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace soteria::math

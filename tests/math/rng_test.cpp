@@ -1,0 +1,192 @@
+#include "math/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace soteria::math {
+namespace {
+
+TEST(SplitMix, IsDeterministic) {
+  EXPECT_EQ(split_mix64(42), split_mix64(42));
+  EXPECT_NE(split_mix64(42), split_mix64(43));
+}
+
+TEST(SplitMix, SpreadsSmallInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(split_mix64(i));
+  EXPECT_EQ(outputs.size(), 1000U);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1'000'000) != b.uniform_int(0, 1'000'000)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(Rng, SeedAccessor) { EXPECT_EQ(Rng(99).seed(), 99U); }
+
+TEST(Rng, ForkIsDecorrelated) {
+  Rng parent(7);
+  Rng child_a = parent.fork(0);
+  Rng child_b = parent.fork(1);
+  int matches = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child_a.uniform_int(0, 1'000'000) ==
+        child_b.uniform_int(0, 1'000'000)) {
+      ++matches;
+    }
+  }
+  EXPECT_LT(matches, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(7);
+  Rng p2(7);
+  Rng a = p1.fork(3);
+  Rng b = p2.fork(3);
+  EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(1);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntThrowsOnInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7U);
+}
+
+TEST(Rng, IndexThrowsOnEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformThrowsOnBadRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(1);
+  double sum = 0.0;
+  double sumsq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, NormalThrowsOnNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(1);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliThrowsOutOfRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, PositiveGeometricIsPositive) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.positive_geometric(0.5), 1);
+}
+
+TEST(Rng, PositiveGeometricThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.positive_geometric(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.positive_geometric(1.5), std::invalid_argument);
+}
+
+TEST(Rng, ChoicePicksExistingElements) {
+  Rng rng(1);
+  const std::vector<int> items{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int v = rng.choice(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(1);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, copy);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(1);
+  const auto p = rng.permutation(20);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 20U);
+  EXPECT_EQ(*seen.begin(), 0U);
+  EXPECT_EQ(*seen.rbegin(), 19U);
+}
+
+}  // namespace
+}  // namespace soteria::math

@@ -1,0 +1,79 @@
+// Numerical gradient checking for layers: compares analytic backprop
+// gradients against central finite differences of a scalar loss.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "math/matrix.h"
+#include "nn/layer.h"
+
+namespace soteria::nn::testing {
+
+/// Scalar loss used by the checks: L = sum(output^2) / 2, so
+/// dL/d(output) = output.
+inline double half_square_sum(const math::Matrix& m) {
+  double acc = 0.0;
+  for (float x : m.data()) acc += 0.5 * static_cast<double>(x) * x;
+  return acc;
+}
+
+/// Verifies d(loss)/d(input) returned by `layer.backward` against finite
+/// differences. The layer must be deterministic in training mode for
+/// this to be valid (no dropout).
+inline void check_input_gradient(Layer& layer, math::Matrix input,
+                                 double tolerance = 2e-2) {
+  const math::Matrix output = layer.forward(input, /*training=*/true);
+  const math::Matrix analytic = layer.backward(output);  // dL/dout = out
+
+  const float eps = 1e-3F;
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t c = 0; c < input.cols(); ++c) {
+      const float saved = input(r, c);
+      input(r, c) = saved + eps;
+      const double plus = half_square_sum(layer.forward(input, true));
+      input(r, c) = saved - eps;
+      const double minus = half_square_sum(layer.forward(input, true));
+      input(r, c) = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR(analytic(r, c), numeric,
+                  tolerance * std::max(1.0, std::abs(numeric)))
+          << "input gradient mismatch at (" << r << ", " << c << ")";
+    }
+  }
+  // Restore caches for any follow-up backward calls.
+  (void)layer.forward(input, true);
+}
+
+/// Verifies parameter gradients against finite differences.
+inline void check_parameter_gradients(Layer& layer,
+                                      const math::Matrix& input,
+                                      double tolerance = 2e-2) {
+  layer.zero_gradients();
+  const math::Matrix output = layer.forward(input, /*training=*/true);
+  (void)layer.backward(output);
+
+  std::vector<ParamRef> params;
+  layer.collect_parameters(params);
+  const float eps = 1e-3F;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto values = params[p].value->data();
+    const auto grads = params[p].grad->data();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const float saved = values[i];
+      values[i] = saved + eps;
+      const double plus = half_square_sum(layer.forward(input, true));
+      values[i] = saved - eps;
+      const double minus = half_square_sum(layer.forward(input, true));
+      values[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR(grads[i], numeric,
+                  tolerance * std::max(1.0, std::abs(numeric)))
+          << "parameter " << p << " gradient mismatch at index " << i;
+    }
+  }
+}
+
+}  // namespace soteria::nn::testing

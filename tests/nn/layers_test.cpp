@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+#include "math/rng.h"
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+
+namespace soteria::nn {
+namespace {
+
+using testing::check_input_gradient;
+using testing::check_parameter_gradients;
+
+math::Matrix random_batch(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed) {
+  math::Rng rng(seed);
+  math::Matrix m(rows, cols);
+  m.fill_normal(rng, 0.0F, 1.0F);
+  return m;
+}
+
+// ---------------------------------------------------------------- Dense
+
+TEST(Dense, ForwardIsAffine) {
+  math::Rng rng(1);
+  Dense layer(2, 3, rng);
+  layer.weights() = math::Matrix(2, 3, {1, 2, 3, 4, 5, 6});
+  layer.bias() = math::Matrix(1, 3, {10, 20, 30});
+  const math::Matrix input(1, 2, {1.0F, 2.0F});
+  const auto out = layer.forward(input, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 1 * 1 + 2 * 4 + 10);
+  EXPECT_FLOAT_EQ(out(0, 1), 1 * 2 + 2 * 5 + 20);
+  EXPECT_FLOAT_EQ(out(0, 2), 1 * 3 + 2 * 6 + 30);
+}
+
+TEST(Dense, RejectsZeroDims) {
+  math::Rng rng(1);
+  EXPECT_THROW(Dense(0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(Dense(3, 0, rng), std::invalid_argument);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  math::Rng rng(1);
+  Dense layer(4, 2, rng);
+  EXPECT_THROW((void)layer.forward(math::Matrix(1, 3), false),
+               std::invalid_argument);
+  EXPECT_EQ(layer.output_dimension(4), 2U);
+  EXPECT_THROW((void)layer.output_dimension(5), std::invalid_argument);
+}
+
+TEST(Dense, InputGradientMatchesNumeric) {
+  math::Rng rng(2);
+  Dense layer(4, 3, rng);
+  check_input_gradient(layer, random_batch(2, 4, 3));
+}
+
+TEST(Dense, ParameterGradientsMatchNumeric) {
+  math::Rng rng(4);
+  Dense layer(3, 2, rng);
+  check_parameter_gradients(layer, random_batch(2, 3, 5));
+}
+
+TEST(Dense, GradientsAccumulateUntilZeroed) {
+  math::Rng rng(6);
+  Dense layer(2, 2, rng);
+  const auto input = random_batch(1, 2, 7);
+  const auto out = layer.forward(input, true);
+  (void)layer.backward(out);
+  std::vector<ParamRef> params;
+  layer.collect_parameters(params);
+  const float first = params[0].grad->data()[0];
+  (void)layer.forward(input, true);
+  (void)layer.backward(out);
+  EXPECT_NEAR(params[0].grad->data()[0], 2.0F * first, 1e-4);
+  layer.zero_gradients();
+  EXPECT_FLOAT_EQ(params[0].grad->data()[0], 0.0F);
+}
+
+TEST(Dense, ParameterCount) {
+  math::Rng rng(8);
+  Dense layer(10, 5, rng);
+  EXPECT_EQ(layer.parameter_count(), 10 * 5 + 5U);
+  EXPECT_EQ(layer.name(), "Dense(10->5)");
+}
+
+// ----------------------------------------------------------------- ReLU
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu relu;
+  const math::Matrix in(1, 4, {-1.0F, 0.0F, 2.0F, -3.0F});
+  const auto out = relu.forward(in, false);
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(out(0, 2), 2.0F);
+}
+
+TEST(Relu, BackwardMasksBlockedUnits) {
+  Relu relu;
+  const math::Matrix in(1, 3, {-1.0F, 2.0F, 3.0F});
+  (void)relu.forward(in, true);
+  const math::Matrix grad(1, 3, {5.0F, 5.0F, 5.0F});
+  const auto gin = relu.backward(grad);
+  EXPECT_FLOAT_EQ(gin(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(gin(0, 1), 5.0F);
+}
+
+TEST(Relu, GradientMatchesNumeric) {
+  Relu relu;
+  // Keep values away from the kink for finite differences.
+  math::Matrix in(2, 3, {-1.0F, 2.0F, 0.5F, -0.4F, 1.2F, -2.0F});
+  check_input_gradient(relu, in);
+}
+
+// -------------------------------------------------------------- Sigmoid
+
+TEST(Sigmoid, ForwardRange) {
+  Sigmoid sigmoid;
+  const math::Matrix in(1, 3, {-100.0F, 0.0F, 100.0F});
+  const auto out = sigmoid.forward(in, false);
+  EXPECT_NEAR(out(0, 0), 0.0F, 1e-6);
+  EXPECT_FLOAT_EQ(out(0, 1), 0.5F);
+  EXPECT_NEAR(out(0, 2), 1.0F, 1e-6);
+}
+
+TEST(Sigmoid, GradientMatchesNumeric) {
+  Sigmoid sigmoid;
+  check_input_gradient(sigmoid, random_batch(2, 4, 9));
+}
+
+// --------------------------------------------------------------- Conv1d
+
+TEST(Conv1d, ForwardMatchesHandComputation) {
+  math::Rng rng(10);
+  Conv1d conv(1, 4, 1, 2, rng);
+  std::vector<ParamRef> params;
+  conv.collect_parameters(params);
+  // kernel [1, 2], bias 0.5
+  params[0].value->data()[0] = 1.0F;
+  params[0].value->data()[1] = 2.0F;
+  params[1].value->data()[0] = 0.5F;
+  const math::Matrix in(1, 4, {1.0F, 2.0F, 3.0F, 4.0F});
+  const auto out = conv.forward(in, false);
+  ASSERT_EQ(out.cols(), 3U);
+  EXPECT_FLOAT_EQ(out(0, 0), 1 + 4 + 0.5F);
+  EXPECT_FLOAT_EQ(out(0, 1), 2 + 6 + 0.5F);
+  EXPECT_FLOAT_EQ(out(0, 2), 3 + 8 + 0.5F);
+}
+
+TEST(Conv1d, MultiChannelShapes) {
+  math::Rng rng(11);
+  Conv1d conv(3, 10, 5, 3, rng);
+  EXPECT_EQ(conv.out_length(), 8U);
+  EXPECT_EQ(conv.output_dimension(30), 40U);
+  EXPECT_THROW((void)conv.output_dimension(29), std::invalid_argument);
+  const auto out = conv.forward(random_batch(2, 30, 12), false);
+  EXPECT_EQ(out.rows(), 2U);
+  EXPECT_EQ(out.cols(), 40U);
+}
+
+TEST(Conv1d, Validation) {
+  math::Rng rng(13);
+  EXPECT_THROW(Conv1d(0, 4, 1, 2, rng), std::invalid_argument);
+  EXPECT_THROW(Conv1d(1, 4, 1, 5, rng), std::invalid_argument);
+  Conv1d conv(1, 4, 1, 2, rng);
+  EXPECT_THROW((void)conv.forward(math::Matrix(1, 5), false),
+               std::invalid_argument);
+}
+
+TEST(Conv1d, InputGradientMatchesNumeric) {
+  math::Rng rng(14);
+  Conv1d conv(2, 6, 3, 2, rng);
+  check_input_gradient(conv, random_batch(2, 12, 15));
+}
+
+TEST(Conv1d, ParameterGradientsMatchNumeric) {
+  math::Rng rng(16);
+  Conv1d conv(2, 5, 2, 3, rng);
+  check_parameter_gradients(conv, random_batch(2, 10, 17));
+}
+
+// ------------------------------------------------------------ MaxPool1d
+
+TEST(MaxPool1d, ForwardPicksWindowMax) {
+  MaxPool1d pool(1, 6, 2);
+  const math::Matrix in(1, 6, {1.0F, 5.0F, 2.0F, 2.0F, 9.0F, -1.0F});
+  const auto out = pool.forward(in, false);
+  ASSERT_EQ(out.cols(), 3U);
+  EXPECT_FLOAT_EQ(out(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(out(0, 1), 2.0F);
+  EXPECT_FLOAT_EQ(out(0, 2), 9.0F);
+}
+
+TEST(MaxPool1d, DropsRemainder) {
+  MaxPool1d pool(1, 5, 2);
+  EXPECT_EQ(pool.out_length(), 2U);
+  const math::Matrix in(1, 5, {1, 2, 3, 4, 99});
+  const auto out = pool.forward(in, false);
+  EXPECT_EQ(out.cols(), 2U);  // the 99 in the tail is dropped
+}
+
+TEST(MaxPool1d, BackwardRoutesToArgmax) {
+  MaxPool1d pool(1, 4, 2);
+  const math::Matrix in(1, 4, {1.0F, 5.0F, 7.0F, 2.0F});
+  (void)pool.forward(in, true);
+  const math::Matrix grad(1, 2, {10.0F, 20.0F});
+  const auto gin = pool.backward(grad);
+  EXPECT_FLOAT_EQ(gin(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(gin(0, 1), 10.0F);
+  EXPECT_FLOAT_EQ(gin(0, 2), 20.0F);
+  EXPECT_FLOAT_EQ(gin(0, 3), 0.0F);
+}
+
+TEST(MaxPool1d, MultiChannelIndependence) {
+  MaxPool1d pool(2, 4, 2);
+  const math::Matrix in(1, 8, {1, 9, 0, 0, 5, 1, 2, 8});
+  const auto out = pool.forward(in, false);
+  ASSERT_EQ(out.cols(), 4U);
+  EXPECT_FLOAT_EQ(out(0, 0), 9.0F);
+  EXPECT_FLOAT_EQ(out(0, 2), 5.0F);
+  EXPECT_FLOAT_EQ(out(0, 3), 8.0F);
+}
+
+TEST(MaxPool1d, Validation) {
+  EXPECT_THROW(MaxPool1d(0, 4, 2), std::invalid_argument);
+  EXPECT_THROW(MaxPool1d(1, 4, 5), std::invalid_argument);
+  MaxPool1d pool(1, 4, 2);
+  EXPECT_THROW((void)pool.forward(math::Matrix(1, 5), false),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Dropout
+
+TEST(Dropout, IdentityAtInference) {
+  math::Rng rng(20);
+  Dropout dropout(0.5, rng);
+  const auto in = random_batch(2, 8, 21);
+  EXPECT_EQ(dropout.forward(in, false), in);
+}
+
+TEST(Dropout, TrainingZeroesAndRescales) {
+  math::Rng rng(22);
+  Dropout dropout(0.5, rng);
+  math::Matrix in(1, 2000, 1.0F);
+  const auto out = dropout.forward(in, true);
+  std::size_t zeros = 0;
+  for (float x : out.data()) {
+    if (x == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(x, 2.0F);  // inverted dropout scale 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 2000.0, 0.5, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  math::Rng rng(23);
+  Dropout dropout(0.5, rng);
+  math::Matrix in(1, 100, 1.0F);
+  const auto out = dropout.forward(in, true);
+  const math::Matrix grad(1, 100, 1.0F);
+  const auto gin = dropout.backward(grad);
+  for (std::size_t c = 0; c < 100; ++c) {
+    EXPECT_FLOAT_EQ(gin(0, c), out(0, c));  // same zero pattern & scale
+  }
+}
+
+TEST(Dropout, ZeroRateIsIdentityEvenInTraining) {
+  math::Rng rng(24);
+  Dropout dropout(0.0, rng);
+  const auto in = random_batch(1, 5, 25);
+  EXPECT_EQ(dropout.forward(in, true), in);
+}
+
+TEST(Dropout, RateValidation) {
+  math::Rng rng(26);
+  EXPECT_THROW(Dropout(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soteria::nn

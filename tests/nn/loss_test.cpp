@@ -1,0 +1,105 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace soteria::nn {
+namespace {
+
+TEST(MseLoss, ValueAndGradient) {
+  const math::Matrix pred(1, 2, {3.0F, 5.0F});
+  const math::Matrix target(1, 2, {1.0F, 5.0F});
+  const auto result = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(result.loss, (4.0 + 0.0) / 2.0);
+  EXPECT_FLOAT_EQ(result.gradient(0, 0), 2.0F * 2.0F / 2.0F);
+  EXPECT_FLOAT_EQ(result.gradient(0, 1), 0.0F);
+}
+
+TEST(MseLoss, ZeroForPerfectPrediction) {
+  const math::Matrix m(2, 3, 1.5F);
+  const auto result = mse_loss(m, m);
+  EXPECT_DOUBLE_EQ(result.loss, 0.0);
+}
+
+TEST(MseLoss, ShapeMismatchThrows) {
+  EXPECT_THROW((void)mse_loss(math::Matrix(1, 2), math::Matrix(2, 1)),
+               std::invalid_argument);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  const math::Matrix logits(2, 3, {1.0F, 2.0F, 3.0F, -1.0F, 0.0F, 1.0F});
+  const auto probs = softmax(logits);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(probs(r, c), 0.0F);
+      sum += probs(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Softmax, IsShiftInvariantAndStable) {
+  const math::Matrix a(1, 2, {1.0F, 2.0F});
+  const math::Matrix b(1, 2, {1001.0F, 1002.0F});
+  const auto pa = softmax(a);
+  const auto pb = softmax(b);
+  EXPECT_NEAR(pa(0, 0), pb(0, 0), 1e-6);
+  EXPECT_FALSE(std::isnan(pb(0, 1)));
+}
+
+TEST(SoftmaxCrossEntropy, KnownValue) {
+  // Uniform logits over 4 classes -> loss = ln(4).
+  const math::Matrix logits(1, 4, 0.0F);
+  const std::vector<std::size_t> labels{2};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-6);
+  // Gradient: probs - onehot, / batch.
+  EXPECT_NEAR(result.gradient(0, 0), 0.25F, 1e-6);
+  EXPECT_NEAR(result.gradient(0, 2), 0.25F - 1.0F, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  const math::Matrix logits(2, 3, {1.0F, -2.0F, 0.5F, 3.0F, 3.0F, 0.0F});
+  const std::vector<std::size_t> labels{0, 1};
+  const auto result = softmax_cross_entropy(logits, labels);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += result.gradient(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionHasLowLoss) {
+  const math::Matrix logits(1, 2, {10.0F, -10.0F});
+  const std::vector<std::size_t> labels{0};
+  EXPECT_LT(softmax_cross_entropy(logits, labels).loss, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, Validation) {
+  const math::Matrix logits(2, 3);
+  const std::vector<std::size_t> short_labels{0};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, short_labels),
+               std::invalid_argument);
+  const std::vector<std::size_t> bad_label{0, 3};
+  EXPECT_THROW((void)softmax_cross_entropy(logits, bad_label),
+               std::invalid_argument);
+}
+
+TEST(RowRmse, PerRowValues) {
+  const math::Matrix pred(2, 2, {1.0F, 1.0F, 0.0F, 0.0F});
+  const math::Matrix target(2, 2, {0.0F, 0.0F, 0.0F, 0.0F});
+  const auto rmse = row_rmse(pred, target);
+  ASSERT_EQ(rmse.size(), 2U);
+  EXPECT_NEAR(rmse[0], 1.0, 1e-9);
+  EXPECT_NEAR(rmse[1], 0.0, 1e-9);
+}
+
+TEST(RowRmse, ShapeMismatchThrows) {
+  EXPECT_THROW((void)row_rmse(math::Matrix(1, 2), math::Matrix(1, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soteria::nn

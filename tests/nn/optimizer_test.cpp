@@ -1,0 +1,101 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace soteria::nn {
+namespace {
+
+// Minimizes f(x) = 0.5 * ||x - target||^2 with gradient x - target.
+template <typename Opt>
+double optimize_quadratic(Opt& optimizer, std::size_t steps) {
+  math::Matrix x(1, 4, {5.0F, -3.0F, 2.0F, 8.0F});
+  const math::Matrix target(1, 4, {1.0F, 1.0F, 1.0F, 1.0F});
+  math::Matrix grad(1, 4);
+  const std::vector<ParamRef> params{{&x, &grad}};
+  for (std::size_t i = 0; i < steps; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) grad(0, c) = x(0, c) - target(0, c);
+    optimizer.step(params);
+  }
+  double err = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    err += std::abs(x(0, c) - target(0, c));
+  }
+  return err;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd sgd(0.1);
+  EXPECT_LT(optimize_quadratic(sgd, 200), 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesEarlySteps) {
+  Sgd plain(0.05);
+  Sgd momentum(0.05, 0.9);
+  const double plain_err = optimize_quadratic(plain, 20);
+  const double momentum_err = optimize_quadratic(momentum, 20);
+  EXPECT_LT(momentum_err, plain_err);
+}
+
+TEST(Sgd, SingleStepMatchesHandComputation) {
+  Sgd sgd(0.5);
+  math::Matrix x(1, 1, {2.0F});
+  math::Matrix grad(1, 1, {4.0F});
+  const std::vector<ParamRef> params{{&x, &grad}};
+  sgd.step(params);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.0F);  // 2 - 0.5*4
+}
+
+TEST(Sgd, Validation) {
+  EXPECT_THROW(Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(0.1, 1.0), std::invalid_argument);
+  Sgd sgd(0.1);
+  EXPECT_THROW(sgd.set_learning_rate(-1.0), std::invalid_argument);
+  sgd.set_learning_rate(0.2);
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.2);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam(0.1);
+  EXPECT_LT(optimize_quadratic(adam, 500), 1e-2);
+}
+
+TEST(Adam, FirstStepSizeIsLearningRate) {
+  // With bias correction, the very first Adam update is ~lr * sign(g).
+  Adam adam(0.01);
+  math::Matrix x(1, 2, {1.0F, 1.0F});
+  math::Matrix grad(1, 2, {100.0F, -0.001F});
+  const std::vector<ParamRef> params{{&x, &grad}};
+  adam.step(params);
+  EXPECT_NEAR(x(0, 0), 1.0F - 0.01F, 1e-4);
+  EXPECT_NEAR(x(0, 1), 1.0F + 0.01F, 1e-3);
+}
+
+TEST(Adam, Validation) {
+  EXPECT_THROW(Adam(0.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 0.0), std::invalid_argument);
+}
+
+TEST(Optimizer, RejectsChangedParameterList) {
+  Adam adam(0.01);
+  math::Matrix a(1, 2), ga(1, 2), b(1, 3), gb(1, 3);
+  const std::vector<ParamRef> one{{&a, &ga}};
+  adam.step(one);
+  const std::vector<ParamRef> two{{&a, &ga}, {&b, &gb}};
+  EXPECT_THROW(adam.step(two), std::invalid_argument);
+}
+
+TEST(Optimizer, RejectsNullAndMismatchedRefs) {
+  Sgd sgd(0.1);
+  math::Matrix a(1, 2), wrong_grad(1, 3);
+  const std::vector<ParamRef> null_ref{{&a, nullptr}};
+  EXPECT_THROW(sgd.step(null_ref), std::invalid_argument);
+  const std::vector<ParamRef> mismatched{{&a, &wrong_grad}};
+  EXPECT_THROW(sgd.step(mismatched), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soteria::nn

@@ -1,0 +1,172 @@
+#include "nn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/autoencoder.h"
+#include "nn/cnn.h"
+#include "nn/dense.h"
+
+namespace soteria::nn {
+namespace {
+
+Sequential two_layer(std::uint64_t seed) {
+  math::Rng rng(seed);
+  Sequential model;
+  model.emplace<Dense>(4, 8, rng);
+  model.emplace<Relu>();
+  model.emplace<Dense>(8, 2, rng);
+  return model;
+}
+
+TEST(Sequential, ForwardChainsLayers) {
+  auto model = two_layer(1);
+  math::Rng rng(2);
+  math::Matrix input(3, 4);
+  input.fill_normal(rng, 0.0F, 1.0F);
+  const auto out = model.forward(input, false);
+  EXPECT_EQ(out.rows(), 3U);
+  EXPECT_EQ(out.cols(), 2U);
+}
+
+TEST(Sequential, EmptyModelThrows) {
+  Sequential model;
+  EXPECT_THROW((void)model.forward(math::Matrix(1, 1), false),
+               std::logic_error);
+  EXPECT_THROW((void)model.backward(math::Matrix(1, 1)), std::logic_error);
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, OutputDimensionValidatesChain) {
+  const auto model = two_layer(3);
+  EXPECT_EQ(model.output_dimension(4), 2U);
+  EXPECT_THROW((void)model.output_dimension(5), std::invalid_argument);
+}
+
+TEST(Sequential, ParametersInStableOrder) {
+  auto model = two_layer(4);
+  const auto params = model.parameters();
+  ASSERT_EQ(params.size(), 4U);  // two dense layers x (W, b)
+  EXPECT_EQ(params[0].value->rows(), 4U);
+  EXPECT_EQ(params[2].value->rows(), 8U);
+  EXPECT_EQ(model.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2U);
+  EXPECT_EQ(model.layer_count(), 3U);
+}
+
+TEST(Sequential, SummaryListsLayers) {
+  const auto model = two_layer(5);
+  const auto text = model.summary();
+  EXPECT_NE(text.find("Dense(4->8)"), std::string::npos);
+  EXPECT_NE(text.find("ReLU"), std::string::npos);
+  EXPECT_NE(text.find("total parameters"), std::string::npos);
+}
+
+TEST(Sequential, SaveLoadRoundTripsPredictions) {
+  auto model = two_layer(6);
+  math::Rng rng(7);
+  math::Matrix input(2, 4);
+  input.fill_normal(rng, 0.0F, 1.0F);
+  const auto before = model.predict(input);
+
+  std::stringstream stream;
+  model.save_parameters(stream);
+  auto fresh = two_layer(999);  // different init
+  fresh.load_parameters(stream);
+  EXPECT_EQ(fresh.predict(input), before);
+}
+
+TEST(Sequential, LoadRejectsWrongArchitecture) {
+  auto model = two_layer(8);
+  std::stringstream stream;
+  model.save_parameters(stream);
+
+  math::Rng rng(9);
+  Sequential other;
+  other.emplace<Dense>(4, 4, rng);
+  EXPECT_THROW(other.load_parameters(stream), std::runtime_error);
+}
+
+TEST(Sequential, LoadRejectsGarbage) {
+  std::stringstream stream;
+  stream.write("garbage!", 8);
+  auto model = two_layer(10);
+  EXPECT_THROW(model.load_parameters(stream), std::runtime_error);
+}
+
+TEST(Autoencoder, BuildsPaperShape) {
+  math::Rng rng(11);
+  AutoencoderConfig config;
+  config.input_dim = 100;
+  config.hidden_dims = {200, 300, 200};
+  auto model = build_autoencoder(config, rng);
+  EXPECT_EQ(model.output_dimension(100), 100U);
+  // dense+relu per hidden layer, plus the output dense
+  EXPECT_EQ(model.layer_count(), 3 * 2 + 1U);
+}
+
+TEST(Autoencoder, WidthScaleShrinksHiddenLayers) {
+  math::Rng rng(12);
+  AutoencoderConfig config;
+  config.input_dim = 50;
+  config.hidden_dims = {100};
+  config.width_scale = 0.5;
+  auto model = build_autoencoder(config, rng);
+  // 50 -> 50 -> 50: parameters = 50*50+50 + 50*50+50.
+  EXPECT_EQ(model.parameter_count(), 2U * (50 * 50 + 50));
+}
+
+TEST(Autoencoder, ConfigValidation) {
+  AutoencoderConfig bad;
+  bad.input_dim = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = AutoencoderConfig{};
+  bad.hidden_dims.clear();
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = AutoencoderConfig{};
+  bad.width_scale = 0.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = AutoencoderConfig{};
+  bad.hidden_dims = {0};
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(Cnn, BuildsAndValidates) {
+  math::Rng rng(13);
+  CnnConfig config;
+  config.input_length = 100;
+  config.filters = 4;
+  config.dense_units = 16;
+  auto model = build_cnn(config, rng);
+  EXPECT_EQ(model.output_dimension(100), config.classes);
+}
+
+TEST(Cnn, PaperArchitectureShape) {
+  math::Rng rng(14);
+  CnnConfig config;  // 500-wide input, 46 filters, dense 512
+  auto model = build_cnn(config, rng);
+  EXPECT_EQ(model.output_dimension(500), 4U);
+  // ConvB1: 500->498->496->248, ConvB2: 248->246->244->122.
+  // Flatten = 46*122 = 5612 -> 512 -> 4.
+  const std::size_t expected =
+      (46 * 1 * 3 + 46) + (46 * 46 * 3 + 46) +  // ConvB1
+      (46 * 46 * 3 + 46) + (46 * 46 * 3 + 46) +  // ConvB2
+      (5612 * 512 + 512) + (512 * 4 + 4);
+  EXPECT_EQ(model.parameter_count(), expected);
+}
+
+TEST(Cnn, ConfigValidation) {
+  CnnConfig bad;
+  bad.input_length = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = CnnConfig{};
+  bad.input_length = 8;  // too short for two conv blocks + pooling
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = CnnConfig{};
+  bad.conv_dropout = 1.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soteria::nn

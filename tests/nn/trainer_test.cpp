@@ -1,0 +1,130 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace soteria::nn {
+namespace {
+
+TEST(TrainConfig, Validation) {
+  EXPECT_NO_THROW(validate(TrainConfig{}));
+  TrainConfig zero_epochs;
+  zero_epochs.epochs = 0;
+  EXPECT_THROW(validate(zero_epochs), std::invalid_argument);
+  TrainConfig zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_THROW(validate(zero_batch), std::invalid_argument);
+}
+
+TEST(TrainConfig, FactorySetsFields) {
+  const auto config = make_train_config(7, 13);
+  EXPECT_EQ(config.epochs, 7U);
+  EXPECT_EQ(config.batch_size, 13U);
+  EXPECT_TRUE(config.shuffle);
+}
+
+TEST(TrainRegression, LossDecreasesOnLinearTask) {
+  math::Rng rng(1);
+  // y = 2 x0 - x1 + 0.5: learnable by a single dense layer.
+  math::Matrix inputs(64, 2);
+  inputs.fill_normal(rng, 0.0F, 1.0F);
+  math::Matrix targets(64, 1);
+  for (std::size_t r = 0; r < 64; ++r) {
+    targets(r, 0) = 2.0F * inputs(r, 0) - inputs(r, 1) + 0.5F;
+  }
+  Sequential model;
+  model.emplace<Dense>(2, 1, rng);
+  Adam optimizer(0.05);
+  const auto report = train_regression(model, inputs, targets, optimizer,
+                                       make_train_config(60, 16), rng);
+  ASSERT_EQ(report.epoch_losses.size(), 60U);
+  EXPECT_LT(report.final_loss(), 0.01);
+  EXPECT_LT(report.final_loss(), report.epoch_losses.front());
+}
+
+TEST(TrainRegression, RowCountMismatchThrows) {
+  math::Rng rng(2);
+  Sequential model;
+  model.emplace<Dense>(2, 1, rng);
+  Adam optimizer(0.01);
+  EXPECT_THROW((void)train_regression(model, math::Matrix(4, 2),
+                                      math::Matrix(3, 1), optimizer,
+                                      TrainConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(TrainRegression, EmptyDatasetThrows) {
+  math::Rng rng(3);
+  Sequential model;
+  model.emplace<Dense>(2, 1, rng);
+  Adam optimizer(0.01);
+  EXPECT_THROW((void)train_regression(model, math::Matrix(0, 2),
+                                      math::Matrix(0, 1), optimizer,
+                                      TrainConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(TrainClassifier, LearnsSeparableBlobs) {
+  math::Rng rng(4);
+  constexpr std::size_t kPerClass = 40;
+  math::Matrix inputs(2 * kPerClass, 2);
+  std::vector<std::size_t> labels(2 * kPerClass);
+  for (std::size_t i = 0; i < kPerClass; ++i) {
+    inputs(i, 0) = static_cast<float>(rng.normal(-2.0, 0.4));
+    inputs(i, 1) = static_cast<float>(rng.normal(-2.0, 0.4));
+    labels[i] = 0;
+    inputs(kPerClass + i, 0) = static_cast<float>(rng.normal(2.0, 0.4));
+    inputs(kPerClass + i, 1) = static_cast<float>(rng.normal(2.0, 0.4));
+    labels[kPerClass + i] = 1;
+  }
+  Sequential model;
+  model.emplace<Dense>(2, 8, rng);
+  model.emplace<Relu>();
+  model.emplace<Dense>(8, 2, rng);
+  Adam optimizer(0.02);
+  (void)train_classifier(model, inputs, labels, optimizer,
+                         make_train_config(40, 16), rng);
+  const auto predictions = argmax_rows(model.predict(inputs));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    correct += predictions[i] == labels[i];
+  }
+  EXPECT_GT(correct, labels.size() * 95 / 100);
+}
+
+TEST(TrainClassifier, OnEpochCallbackFires) {
+  math::Rng rng(5);
+  Sequential model;
+  model.emplace<Dense>(2, 2, rng);
+  Adam optimizer(0.01);
+  math::Matrix inputs(8, 2, 0.5F);
+  const std::vector<std::size_t> labels(8, 0);
+  std::size_t calls = 0;
+  TrainConfig config = make_train_config(5, 4);
+  config.on_epoch = [&calls](std::size_t, double) { ++calls; };
+  (void)train_classifier(model, inputs, labels, optimizer, config, rng);
+  EXPECT_EQ(calls, 5U);
+}
+
+TEST(ArgmaxRows, PicksPerRowMaximum) {
+  const math::Matrix m(2, 3, {0.1F, 0.7F, 0.2F, 0.9F, 0.05F, 0.05F});
+  const auto result = argmax_rows(m);
+  EXPECT_EQ(result, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(GatherRows, CopiesSelectedRows) {
+  const math::Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  const std::vector<std::size_t> rows{2, 0};
+  const auto gathered = gather_rows(m, rows);
+  EXPECT_FLOAT_EQ(gathered(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(gathered(1, 1), 2.0F);
+  const std::vector<std::size_t> bad{7};
+  EXPECT_THROW((void)gather_rows(m, bad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace soteria::nn

@@ -1,0 +1,111 @@
+#include "soteria/report.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+#include "soteria/presets.h"
+
+namespace soteria::core {
+namespace {
+
+// One tiny trained system shared across the suite (training dominates).
+struct ReportFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    dataset::DatasetConfig data_config;
+    data_config.scale = 0.006;
+    math::Rng rng(55);
+    data = new dataset::Dataset(
+        dataset::generate_dataset(data_config, rng));
+    SoteriaConfig config = tiny_config();
+    config.seed = 55;
+    system = new SoteriaSystem(SoteriaSystem::train(data->train, config));
+
+    std::vector<dataset::Sample> everything = data->train;
+    everything.insert(everything.end(), data->test.begin(),
+                      data->test.end());
+    const auto targets = dataset::select_all_targets(everything);
+    adversarial = new std::vector<dataset::AdversarialExample>(
+        dataset::generate_adversarial_set(data->test, targets[1]));
+  }
+  static void TearDownTestSuite() {
+    delete adversarial;
+    delete system;
+    delete data;
+    adversarial = nullptr;
+    system = nullptr;
+    data = nullptr;
+  }
+
+  static dataset::Dataset* data;
+  static SoteriaSystem* system;
+  static std::vector<dataset::AdversarialExample>* adversarial;
+};
+
+dataset::Dataset* ReportFixture::data = nullptr;
+SoteriaSystem* ReportFixture::system = nullptr;
+std::vector<dataset::AdversarialExample>* ReportFixture::adversarial =
+    nullptr;
+
+TEST_F(ReportFixture, CountsAreConsistent) {
+  math::Rng rng(56);
+  const auto report =
+      evaluate_system(*system, data->test, *adversarial, rng);
+
+  std::size_t clean_total = 0;
+  std::size_t flagged_total = 0;
+  for (std::size_t i = 0; i < dataset::kFamilyCount; ++i) {
+    clean_total += report.clean_total[i];
+    flagged_total += report.clean_flagged[i];
+  }
+  EXPECT_EQ(clean_total, data->test.size());
+  EXPECT_EQ(report.detection.false_positives, flagged_total);
+  EXPECT_EQ(report.detection.true_negatives + flagged_total,
+            data->test.size());
+  EXPECT_EQ(report.confusion.total(),
+            data->test.size() - flagged_total);
+
+  std::size_t ae_total = 0;
+  std::size_t missed_total = 0;
+  for (std::size_t s = 0; s < dataset::kTargetSizeCount; ++s) {
+    ae_total += report.total_by_size[s];
+    missed_total += report.missed_by_size[s];
+  }
+  EXPECT_EQ(ae_total, adversarial->size());
+  EXPECT_EQ(report.detection.false_negatives, missed_total);
+  EXPECT_EQ(report.detection.true_positives + missed_total,
+            adversarial->size());
+}
+
+TEST_F(ReportFixture, RatesAreInRange) {
+  math::Rng rng(57);
+  const auto report =
+      evaluate_system(*system, data->test, *adversarial, rng);
+  EXPECT_GE(report.detection_rate(), 0.0);
+  EXPECT_LE(report.detection_rate(), 1.0);
+  EXPECT_GE(report.classification_accuracy(), 0.0);
+  EXPECT_LE(report.classification_accuracy(), 1.0);
+}
+
+TEST_F(ReportFixture, RenderContainsAllSections) {
+  math::Rng rng(58);
+  const auto report =
+      evaluate_system(*system, data->test, *adversarial, rng);
+  const auto text = render_report(report);
+  EXPECT_NE(text.find("AE detection rate"), std::string::npos);
+  EXPECT_NE(text.find("Per-class clean behaviour"), std::string::npos);
+  EXPECT_NE(text.find("Adversarial examples by target size"),
+            std::string::npos);
+  EXPECT_NE(text.find("Gafgyt"), std::string::npos);
+}
+
+TEST(EvaluationReport, EmptyInputsGiveZeroedReport) {
+  // evaluate_system over empty spans never divides by zero.
+  EvaluationReport report;
+  EXPECT_DOUBLE_EQ(report.detection_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.classification_accuracy(), 0.0);
+  const auto text = render_report(report);
+  EXPECT_FALSE(text.empty());
+}
+
+}  // namespace
+}  // namespace soteria::core

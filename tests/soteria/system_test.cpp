@@ -1,0 +1,188 @@
+#include "soteria/system.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cfg/gea.h"
+#include "dataset/adversarial.h"
+#include "dataset/generator.h"
+#include "soteria/presets.h"
+
+namespace soteria::core {
+namespace {
+
+// Shared tiny experiment: built once for the whole suite because
+// end-to-end training dominates test time.
+struct SystemFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    dataset::DatasetConfig data_config;
+    data_config.scale = 0.008;
+    math::Rng rng(17);
+    data = new dataset::Dataset(dataset::generate_dataset(data_config, rng));
+    SoteriaConfig config = tiny_config();
+    config.seed = 17;
+    system = new SoteriaSystem(SoteriaSystem::train(data->train, config));
+  }
+  static void TearDownTestSuite() {
+    delete system;
+    delete data;
+    system = nullptr;
+    data = nullptr;
+  }
+
+  static dataset::Dataset* data;
+  static SoteriaSystem* system;
+};
+
+dataset::Dataset* SystemFixture::data = nullptr;
+SoteriaSystem* SystemFixture::system = nullptr;
+
+TEST_F(SystemFixture, TrainsAllComponents) {
+  EXPECT_GT(system->pipeline().combined_dimension(), 0U);
+  EXPECT_GT(system->detector().threshold(), 0.0);
+  EXPECT_GT(system->detector().train_report().epoch_losses.size(), 0U);
+}
+
+TEST_F(SystemFixture, AnalyzeProducesCompleteVerdict) {
+  math::Rng rng(18);
+  const auto verdict = system->analyze(data->test.front().cfg, rng);
+  EXPECT_GT(verdict.reconstruction_error, 0.0);
+  EXPECT_LT(dataset::family_index(verdict.predicted),
+            dataset::kFamilyCount);
+}
+
+TEST_F(SystemFixture, VerdictConsistentWithThreshold) {
+  math::Rng rng(19);
+  for (std::size_t i = 0; i < std::min<std::size_t>(data->test.size(), 10);
+       ++i) {
+    const auto verdict = system->analyze(data->test[i].cfg, rng);
+    EXPECT_EQ(verdict.adversarial,
+              verdict.reconstruction_error >
+                  system->detector().threshold());
+  }
+}
+
+TEST_F(SystemFixture, ClassifierBeatsChanceOnCleanTest) {
+  math::Rng rng(20);
+  std::size_t correct = 0;
+  const std::size_t n = std::min<std::size_t>(data->test.size(), 40);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto verdict = system->analyze(data->test[i].cfg, rng);
+    correct += verdict.predicted == data->test[i].family;
+  }
+  // Chance is ~25% on 4 classes (majority class ~66%); even the tiny
+  // preset should beat a coin flip comfortably.
+  EXPECT_GT(correct * 2, n);
+}
+
+TEST_F(SystemFixture, GeaAttackScoresHigherThanOriginal) {
+  math::Rng rng(21);
+  // Average over several attacks: GEA should raise the detector score.
+  double clean_sum = 0.0;
+  double attacked_sum = 0.0;
+  int count = 0;
+  const auto targets = dataset::select_all_targets(data->train);
+  for (std::size_t i = 0; i < std::min<std::size_t>(data->test.size(), 8);
+       ++i) {
+    const auto& sample = data->test[i];
+    const auto& target = targets[sample.family == dataset::Family::kBenign
+                                     ? 7   // Mirai medium
+                                     : 1]  // Benign medium
+    ;
+    const auto attack = cfg::gea_combine(sample.cfg, target.cfg);
+    clean_sum += system->analyze(sample.cfg, rng).reconstruction_error;
+    attacked_sum +=
+        system->analyze(attack.combined, rng).reconstruction_error;
+    ++count;
+  }
+  EXPECT_GT(attacked_sum / count, clean_sum / count);
+}
+
+TEST_F(SystemFixture, ExtractMatchesPipelineShape) {
+  math::Rng rng(22);
+  const auto features = system->extract(data->test.front().cfg, rng);
+  EXPECT_EQ(features.dbl.size(),
+            system->config().pipeline.walk.walks_per_labeling);
+  EXPECT_EQ(features.pooled_combined().size(),
+            system->pipeline().combined_dimension());
+}
+
+TEST_F(SystemFixture, SaveLoadRoundTripsVerdicts) {
+  std::stringstream stream;
+  system->save(stream);
+  auto loaded = SoteriaSystem::load(stream);
+  EXPECT_DOUBLE_EQ(loaded.detector().threshold(),
+                   system->detector().threshold());
+  for (std::size_t i = 0; i < std::min<std::size_t>(data->test.size(), 5);
+       ++i) {
+    math::Rng a(100 + i);
+    math::Rng b(100 + i);
+    const auto va = system->analyze(data->test[i].cfg, a);
+    const auto vb = loaded.analyze(data->test[i].cfg, b);
+    EXPECT_EQ(va.adversarial, vb.adversarial);
+    EXPECT_EQ(va.predicted, vb.predicted);
+    EXPECT_DOUBLE_EQ(va.reconstruction_error, vb.reconstruction_error);
+  }
+}
+
+TEST(SoteriaConfigValidation, CatchesBadKnobs) {
+  SoteriaConfig config = tiny_config();
+  EXPECT_NO_THROW(validate(config));
+  config.detector_alpha = -1.0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.classifier_learning_rate = 0.0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.training_vectors_per_sample =
+      config.pipeline.walk.walks_per_labeling + 1;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.calibration_fraction = 0.0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+}
+
+TEST(SoteriaSystemTrain, RejectsEmptyTrainingSet) {
+  EXPECT_THROW((void)SoteriaSystem::train({}, tiny_config()),
+               std::invalid_argument);
+}
+
+TEST(Presets, AllValidate) {
+  EXPECT_NO_THROW(validate(paper_config()));
+  EXPECT_NO_THROW(validate(cpu_scaled_config()));
+  EXPECT_NO_THROW(validate(tiny_config()));
+}
+
+TEST(Presets, PaperConfigMatchesPublication) {
+  const auto config = paper_config();
+  EXPECT_EQ(config.pipeline.top_k, 500U);
+  EXPECT_EQ(config.pipeline.walk.walks_per_labeling, 10U);
+  EXPECT_DOUBLE_EQ(config.pipeline.walk.length_multiplier, 5.0);
+  EXPECT_EQ(config.pipeline.gram_sizes,
+            (std::vector<std::size_t>{2, 3, 4}));
+  EXPECT_EQ(config.autoencoder.hidden_dims,
+            (std::vector<std::size_t>{2000, 3000, 2000}));
+  EXPECT_EQ(config.cnn.filters, 46U);
+  EXPECT_EQ(config.cnn.dense_units, 512U);
+  EXPECT_EQ(config.detector_training.epochs, 100U);
+  EXPECT_EQ(config.detector_training.batch_size, 128U);
+  EXPECT_DOUBLE_EQ(config.detector_alpha, 1.0);
+}
+
+TEST(PooledMatrix, ValidatesBundle) {
+  features::SampleFeatures empty;
+  EXPECT_THROW((void)pooled_matrix(empty), std::invalid_argument);
+  features::SampleFeatures ok;
+  ok.pooled_dbl = {1.0F, 2.0F};
+  ok.pooled_lbl = {3.0F};
+  const auto m = pooled_matrix(ok);
+  EXPECT_EQ(m.rows(), 1U);
+  EXPECT_EQ(m.cols(), 3U);
+}
+
+}  // namespace
+}  // namespace soteria::core
