@@ -1,9 +1,11 @@
 // Micro-benchmarks for the feature substrate: random walks, n-gram
-// counting, TF-IDF vectorization, and full per-sample extraction.
+// counting, TF-IDF vectorization, and full per-sample extraction — plus
+// a thread-count sweep of the parallel batch engine over a corpus.
 #include <benchmark/benchmark.h>
 
 #include "features/pipeline.h"
 #include "graph/generators.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -77,6 +79,49 @@ void BM_FullExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullExtraction)->Arg(32)->Arg(128)->Arg(512);
+
+// Thread sweep: the same 32-sample corpus extraction that dominates
+// SoteriaSystem::train, run through runtime::parallel_map at 1/2/4/N
+// threads. Before timing, the sweep verifies the determinism contract
+// once per thread count: parallel output must be bit-identical to the
+// serial loop (sample i always draws from rng.child(i)).
+void BM_ParallelCorpusExtraction(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  auto pipeline = make_pipeline(24);
+  math::Rng corpus_rng(6);
+  std::vector<cfg::Cfg> corpus;
+  for (std::size_t i = 0; i < 32; ++i) {
+    corpus.push_back(make_cfg(64 + corpus_rng.index(64)));
+  }
+  const math::Rng rng(7);
+  const auto extract_pooled = [&](std::size_t num_threads) {
+    return runtime::parallel_map(
+        num_threads, corpus.size(), [&](std::size_t i) {
+          math::Rng sample_rng = rng.child(i);
+          return pipeline.extract(corpus[i], sample_rng).pooled_combined();
+        });
+  };
+  if (extract_pooled(threads) != extract_pooled(1)) {
+    state.SkipWithError("parallel extraction diverged from serial");
+    return;
+  }
+  for (auto _ : state) {
+    auto out = runtime::parallel_map(
+        threads, corpus.size(), [&](std::size_t i) {
+          math::Rng sample_rng = rng.child(i);
+          return pipeline.extract(corpus[i], sample_rng);
+        });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * corpus.size()));
+}
+BENCHMARK(BM_ParallelCorpusExtraction)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<std::int64_t>(soteria::runtime::hardware_threads()))
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,6 +1,9 @@
 // Micro-benchmarks for the NN substrate: matmul, conv1d, and full
-// forward/backward passes of the paper architectures (scaled).
+// forward/backward passes of the paper architectures (scaled) — plus a
+// thread-count sweep of concurrent const inference (Sequential::infer).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "math/matrix.h"
 #include "nn/autoencoder.h"
@@ -8,6 +11,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -102,6 +106,57 @@ void BM_CnnTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CnnTrainStep);
+
+// Thread sweep: one shared autoencoder, 16 chunks of 16 rows each,
+// inferred concurrently through the const Sequential::infer path (the
+// same arithmetic SoteriaSystem::analyze_batch runs per sample). The
+// sweep verifies once per thread count that chunked parallel inference
+// is bit-identical to the serial chunked loop.
+void BM_ParallelAutoencoderInfer(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(6);
+  nn::AutoencoderConfig config;
+  config.input_dim = 1000;
+  config.width_scale = 0.1;
+  const auto model = nn::build_autoencoder(config, rng);
+  constexpr std::size_t kChunks = 16;
+  constexpr std::size_t kChunkRows = 16;
+  std::vector<math::Matrix> chunks;
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    math::Matrix chunk(kChunkRows, config.input_dim);
+    chunk.fill_normal(rng, 0.0F, 0.05F);
+    chunks.push_back(std::move(chunk));
+  }
+  const auto infer_all = [&](std::size_t num_threads) {
+    return runtime::parallel_map(
+        num_threads, chunks.size(),
+        [&](std::size_t c) { return model.infer(chunks[c]); });
+  };
+  {
+    const auto parallel = infer_all(threads);
+    const auto serial = infer_all(1);
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      const auto pd = parallel[c].data();
+      const auto sd = serial[c].data();
+      if (!std::equal(pd.begin(), pd.end(), sd.begin(), sd.end())) {
+        state.SkipWithError("parallel inference diverged from serial");
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto out = infer_all(threads);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * kChunks * kChunkRows));
+}
+BENCHMARK(BM_ParallelAutoencoderInfer)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<std::int64_t>(soteria::runtime::hardware_threads()))
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,8 +1,10 @@
 #include "features/pipeline.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "io/binary_io.h"
+#include "runtime/thread_pool.h"
 
 namespace soteria::features {
 
@@ -74,7 +76,8 @@ GramCounts FeaturePipeline::gram_counts(const cfg::Cfg& cfg,
 
 FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
                                      const PipelineConfig& config,
-                                     math::Rng& rng) {
+                                     math::Rng& rng,
+                                     std::size_t num_threads) {
   validate(config);
   if (training.empty()) {
     throw std::invalid_argument("FeaturePipeline::fit: empty corpus");
@@ -82,15 +85,33 @@ FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
   FeaturePipeline pipeline;
   pipeline.config_ = config;
 
+  // Each sample's walks draw from children of `rng` keyed by sample
+  // index (DBL on even streams, LBL on odd), so the per-sample local
+  // gram maps are identical no matter which thread computes them; the
+  // vocabulary builder then merges the local maps into corpus totals.
+  struct LabelingCounts {
+    GramCounts dbl;
+    GramCounts lbl;
+  };
+  auto counts = runtime::parallel_map(
+      num_threads, training.size(), [&](std::size_t i) {
+        math::Rng dbl_rng = rng.child(2 * i);
+        math::Rng lbl_rng = rng.child(2 * i + 1);
+        LabelingCounts sample;
+        sample.dbl = pipeline.gram_counts(
+            training[i], cfg::LabelingMethod::kDensity, dbl_rng);
+        sample.lbl = pipeline.gram_counts(
+            training[i], cfg::LabelingMethod::kLevel, lbl_rng);
+        return sample;
+      });
+
   std::vector<GramCounts> dbl_corpus;
   std::vector<GramCounts> lbl_corpus;
   dbl_corpus.reserve(training.size());
   lbl_corpus.reserve(training.size());
-  for (const auto& cfg : training) {
-    dbl_corpus.push_back(
-        pipeline.gram_counts(cfg, cfg::LabelingMethod::kDensity, rng));
-    lbl_corpus.push_back(
-        pipeline.gram_counts(cfg, cfg::LabelingMethod::kLevel, rng));
+  for (auto& sample : counts) {
+    dbl_corpus.push_back(std::move(sample.dbl));
+    lbl_corpus.push_back(std::move(sample.lbl));
   }
   pipeline.dbl_vocab_ = Vocabulary::build(dbl_corpus, config.top_k);
   pipeline.lbl_vocab_ = Vocabulary::build(lbl_corpus, config.top_k);

@@ -69,10 +69,15 @@ struct SampleFeatures {
 /// Fitted feature extractor.
 class FeaturePipeline {
  public:
-  /// Learns DBL and LBL vocabularies from `training` CFGs. Walks during
-  /// fitting draw from `rng`. Throws on empty corpus or bad config.
+  /// Learns DBL and LBL vocabularies from `training` CFGs. Fitting
+  /// walks draw from per-sample children of `rng` (rng itself is not
+  /// advanced), and with `num_threads` > 1 the per-sample gram maps are
+  /// counted concurrently and merged at the end — results are
+  /// bit-identical at any thread count (0 = all hardware threads).
+  /// Throws on empty corpus or bad config.
   static FeaturePipeline fit(std::span<const cfg::Cfg> training,
-                             const PipelineConfig& config, math::Rng& rng);
+                             const PipelineConfig& config, math::Rng& rng,
+                             std::size_t num_threads = 1);
 
   /// Extracts the full feature bundle for one CFG. Each call draws
   /// fresh walks from `rng` — this is Soteria's randomization property:

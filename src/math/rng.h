@@ -43,6 +43,15 @@ class Rng {
     return Rng(split_mix64(seed_ ^ split_mix64(stream + 0x51ed2701)));
   }
 
+  /// Same derivation as fork(), but const: the child depends only on
+  /// this generator's construction seed, never on its stream position.
+  /// This is the split used by the parallel batch engine — one child
+  /// per sample index makes results independent of scheduling order and
+  /// bit-identical to a serial loop at any thread count.
+  [[nodiscard]] Rng child(std::uint64_t index) const noexcept {
+    return Rng(split_mix64(seed_ ^ split_mix64(index + 0x51ed2701)));
+  }
+
   /// Uniform integer in [lo, hi] (inclusive). Throws if lo > hi.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
     if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");

@@ -7,6 +7,10 @@ namespace soteria::nn {
 
 math::Matrix Relu::forward(const math::Matrix& input, bool /*training*/) {
   cached_input_ = input;
+  return infer(input);
+}
+
+math::Matrix Relu::infer(const math::Matrix& input) const {
   math::Matrix out = input;
   for (float& x : out.data()) x = x > 0.0F ? x : 0.0F;
   return out;
@@ -27,9 +31,14 @@ math::Matrix Relu::backward(const math::Matrix& grad_output) {
 }
 
 math::Matrix Sigmoid::forward(const math::Matrix& input, bool /*training*/) {
+  math::Matrix out = infer(input);
+  cached_output_ = out;
+  return out;
+}
+
+math::Matrix Sigmoid::infer(const math::Matrix& input) const {
   math::Matrix out = input;
   for (float& x : out.data()) x = 1.0F / (1.0F + std::exp(-x));
-  cached_output_ = out;
   return out;
 }
 

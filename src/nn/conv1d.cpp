@@ -30,13 +30,17 @@ Conv1d::Conv1d(std::size_t in_channels, std::size_t in_length,
 }
 
 math::Matrix Conv1d::forward(const math::Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  return infer(input);
+}
+
+math::Matrix Conv1d::infer(const math::Matrix& input) const {
   const std::size_t expected = in_channels_ * in_length_;
   if (input.cols() != expected) {
     throw std::invalid_argument("Conv1d::forward: input width " +
                                 std::to_string(input.cols()) + " != " +
                                 std::to_string(expected));
   }
-  cached_input_ = input;
   const std::size_t out_len = out_length();
   math::Matrix out(input.rows(), out_channels_ * out_len, 0.0F);
   for (std::size_t r = 0; r < input.rows(); ++r) {

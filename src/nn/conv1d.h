@@ -20,6 +20,7 @@ class Conv1d : public Layer {
          std::size_t out_channels, std::size_t kernel, math::Rng& rng);
 
   math::Matrix forward(const math::Matrix& input, bool training) override;
+  [[nodiscard]] math::Matrix infer(const math::Matrix& input) const override;
   math::Matrix backward(const math::Matrix& grad_output) override;
   void collect_parameters(std::vector<ParamRef>& out) override;
   void zero_gradients() override;

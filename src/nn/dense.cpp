@@ -21,12 +21,16 @@ Dense::Dense(std::size_t in_dim, std::size_t out_dim, math::Rng& rng)
 }
 
 math::Matrix Dense::forward(const math::Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  return infer(input);
+}
+
+math::Matrix Dense::infer(const math::Matrix& input) const {
   if (input.cols() != in_dim_) {
     throw std::invalid_argument("Dense::forward: input width " +
                                 std::to_string(input.cols()) + " != " +
                                 std::to_string(in_dim_));
   }
-  cached_input_ = input;
   math::Matrix out = math::matmul(input, weights_);
   out.add_row_vector(bias_.row(0));
   return out;

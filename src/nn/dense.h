@@ -15,6 +15,7 @@ class Dense : public Layer {
   Dense(std::size_t in_dim, std::size_t out_dim, math::Rng& rng);
 
   math::Matrix forward(const math::Matrix& input, bool training) override;
+  [[nodiscard]] math::Matrix infer(const math::Matrix& input) const override;
   math::Matrix backward(const math::Matrix& grad_output) override;
   void collect_parameters(std::vector<ParamRef>& out) override;
   void zero_gradients() override;

@@ -14,6 +14,10 @@ class Dropout : public Layer {
   Dropout(double rate, math::Rng& rng);
 
   math::Matrix forward(const math::Matrix& input, bool training) override;
+  /// Identity: dropout is inactive at inference.
+  [[nodiscard]] math::Matrix infer(const math::Matrix& input) const override {
+    return input;
+  }
   math::Matrix backward(const math::Matrix& grad_output) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t output_dimension(

@@ -37,6 +37,13 @@ class Layer {
   /// (dropout masks). Implementations cache activations for backward.
   virtual math::Matrix forward(const math::Matrix& input, bool training) = 0;
 
+  /// Inference-only forward pass: identical arithmetic to
+  /// forward(input, false) but touches no mutable state (no activation
+  /// caches, no dropout masks), so concurrent infer() calls on a shared
+  /// layer are safe. backward() must not follow an infer().
+  [[nodiscard]] virtual math::Matrix infer(const math::Matrix& input)
+      const = 0;
+
   /// Batch backward pass; must follow a forward with the same batch.
   /// Accumulates parameter gradients and returns d(loss)/d(input).
   virtual math::Matrix backward(const math::Matrix& grad_output) = 0;

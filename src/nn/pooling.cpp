@@ -57,6 +57,34 @@ math::Matrix MaxPool1d::forward(const math::Matrix& input,
   return out;
 }
 
+math::Matrix MaxPool1d::infer(const math::Matrix& input) const {
+  const std::size_t expected = channels_ * in_length_;
+  if (input.cols() != expected) {
+    throw std::invalid_argument("MaxPool1d::forward: input width " +
+                                std::to_string(input.cols()) + " != " +
+                                std::to_string(expected));
+  }
+  const std::size_t out_len = out_length();
+  math::Matrix out(input.rows(), channels_ * out_len, 0.0F);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    const float* in_row = input.data().data() + r * input.cols();
+    float* out_row = out.data().data() + r * out.cols();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* in_chan = in_row + c * in_length_;
+      float* out_chan = out_row + c * out_len;
+      for (std::size_t t = 0; t < out_len; ++t) {
+        const std::size_t start = t * window_;
+        float best = in_chan[start];
+        for (std::size_t k = 1; k < window_; ++k) {
+          if (in_chan[start + k] > best) best = in_chan[start + k];
+        }
+        out_chan[t] = best;
+      }
+    }
+  }
+  return out;
+}
+
 math::Matrix MaxPool1d::backward(const math::Matrix& grad_output) {
   const std::size_t out_len = out_length();
   if (grad_output.rows() != cached_rows_ ||

@@ -30,6 +30,17 @@ math::Matrix Sequential::forward(const math::Matrix& input, bool training) {
   return activation;
 }
 
+math::Matrix Sequential::infer(const math::Matrix& input) const {
+  if (layers_.empty()) {
+    throw std::logic_error("Sequential::infer: no layers");
+  }
+  math::Matrix activation = input;
+  for (const auto& layer : layers_) {
+    activation = layer->infer(activation);
+  }
+  return activation;
+}
+
 math::Matrix Sequential::backward(const math::Matrix& grad_output) {
   if (layers_.empty()) {
     throw std::logic_error("Sequential::backward: no layers");
@@ -77,7 +88,9 @@ std::string Sequential::summary() const {
   return text;
 }
 
-void Sequential::save_parameters(std::ostream& out) {
+void Sequential::save_parameters(std::ostream& out) const {
+  // parameters() is non-const (it hands out mutable ParamRefs for
+  // optimizers); serialization only reads them.
   const auto params = const_cast<Sequential*>(this)->parameters();
   out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
   const auto count = static_cast<std::uint64_t>(params.size());

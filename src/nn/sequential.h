@@ -35,6 +35,12 @@ class Sequential {
     return forward(input, /*training=*/false);
   }
 
+  /// Thread-safe inference: same arithmetic as predict() but touches no
+  /// mutable layer state, so concurrent infer() calls on one model are
+  /// safe (the parallel batch engine relies on this). Throws
+  /// std::logic_error if empty.
+  [[nodiscard]] math::Matrix infer(const math::Matrix& input) const;
+
   /// Backward pass through all layers; returns d(loss)/d(input).
   math::Matrix backward(const math::Matrix& grad_output);
 
@@ -60,7 +66,7 @@ class Sequential {
   /// tensor sizes). Architecture itself is not stored: load into a model
   /// constructed with the same topology. Throws std::runtime_error on
   /// I/O failure or size mismatch at load.
-  void save_parameters(std::ostream& out);
+  void save_parameters(std::ostream& out) const;
   void load_parameters(std::istream& in);
 
  private:

@@ -1,0 +1,181 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace soteria::runtime {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// Restores the reentrancy flag on scope exit (exception-safe).
+struct RegionGuard {
+  bool previous;
+  RegionGuard() : previous(t_in_parallel_region) {
+    t_in_parallel_region = true;
+  }
+  ~RegionGuard() { t_in_parallel_region = previous; }
+};
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned detected = std::thread::hardware_concurrency();
+  return detected == 0 ? 1 : static_cast<std::size_t>(detected);
+}
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+bool in_parallel_region() noexcept { return t_in_parallel_region; }
+
+/// One parallel_for region. Runners (queued worker tasks plus the
+/// caller) claim indices through `next` until the range drains or an
+/// exception poisons the region; the caller waits until every runner
+/// has signalled completion, so no body can still be executing when
+/// parallel_for returns.
+struct Region {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> poisoned{false};
+  std::size_t total_runners = 0;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t finished_runners = 0;  // guarded by mutex
+  std::exception_ptr error;          // guarded by mutex
+
+  void run_indices() {
+    RegionGuard guard;
+    while (!poisoned.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        poisoned.store(true, std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    ++finished_runners;
+    if (finished_runners == total_runners) done.notify_all();
+  }
+};
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::deque<std::function<void()>> queue;  // guarded by mutex
+  std::mutex mutex;
+  std::condition_variable wake;
+  bool stopping = false;  // guarded by mutex
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  const std::size_t resolved = resolve_threads(threads);
+  if (resolved > kMaxThreads) {
+    delete impl_;
+    throw std::invalid_argument("ThreadPool: " + std::to_string(resolved) +
+                                " threads exceeds the cap of " +
+                                std::to_string(kMaxThreads));
+  }
+  impl_->workers.reserve(resolved - 1);
+  for (std::size_t i = 0; i + 1 < resolved; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::thread_count() const noexcept {
+  return impl_->workers.size() + 1;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1 || t_in_parallel_region) {
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Queued tasks own the region state independently of this stack
+  // frame; the caller waits for every runner (started or not) below, so
+  // no body outlives the call.
+  auto region = std::make_shared<Region>();
+  region->body = &body;
+  region->n = n;
+  const std::size_t queued_runners = std::min(impl_->workers.size(), n - 1);
+  region->total_runners = queued_runners + 1;
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t r = 0; r < queued_runners; ++r) {
+      impl_->queue.emplace_back([region] { region->run_indices(); });
+    }
+  }
+  if (queued_runners == 1) {
+    impl_->wake.notify_one();
+  } else {
+    impl_->wake.notify_all();
+  }
+
+  region->run_indices();
+
+  std::unique_lock<std::mutex> lock(region->mutex);
+  region->done.wait(lock, [&] {
+    return region->finished_runners == region->total_runners;
+  });
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+void parallel_for(std::size_t num_threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  const std::size_t resolved = resolve_threads(num_threads);
+  if (resolved > kMaxThreads) {
+    throw std::invalid_argument("parallel_for: " + std::to_string(resolved) +
+                                " threads exceeds the cap of " +
+                                std::to_string(kMaxThreads));
+  }
+  if (resolved == 1 || n <= 1 || t_in_parallel_region) {
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(resolved);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace soteria::runtime

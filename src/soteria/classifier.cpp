@@ -90,7 +90,7 @@ FamilyClassifier FamilyClassifier::train(const LabeledVectors& dbl,
   return classifier;
 }
 
-void FamilyClassifier::save(std::ostream& out) {
+void FamilyClassifier::save(std::ostream& out) const {
   save_cnn_arch(out, dbl_arch_);
   save_cnn_arch(out, lbl_arch_);
   dbl_model_.save_parameters(out);
@@ -110,11 +110,13 @@ FamilyClassifier FamilyClassifier::load(std::istream& in) {
 }
 
 void FamilyClassifier::accumulate(
-    nn::Sequential& model, const std::vector<std::vector<float>>& vectors,
-    std::vector<std::size_t>& votes, std::vector<double>& probability_mass) {
+    const nn::Sequential& model,
+    const std::vector<std::vector<float>>& vectors,
+    std::vector<std::size_t>& votes,
+    std::vector<double>& probability_mass) const {
   if (vectors.empty()) return;
   const math::Matrix batch = pack_rows(vectors);
-  const math::Matrix probs = nn::softmax(model.predict(batch));
+  const math::Matrix probs = nn::softmax(model.infer(batch));
   for (std::size_t r = 0; r < probs.rows(); ++r) {
     const auto row = probs.row(r);
     const auto best = static_cast<std::size_t>(
@@ -127,7 +129,7 @@ void FamilyClassifier::accumulate(
 }
 
 std::vector<std::size_t> FamilyClassifier::vote_counts(
-    const features::SampleFeatures& features) {
+    const features::SampleFeatures& features) const {
   std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
   std::vector<double> mass(dataset::kFamilyCount, 0.0);
   accumulate(dbl_model_, features.dbl, votes, mass);
@@ -152,7 +154,7 @@ dataset::Family vote_winner(const std::vector<std::size_t>& votes,
 }  // namespace
 
 dataset::Family FamilyClassifier::predict(
-    const features::SampleFeatures& features) {
+    const features::SampleFeatures& features) const {
   std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
   std::vector<double> mass(dataset::kFamilyCount, 0.0);
   accumulate(dbl_model_, features.dbl, votes, mass);
@@ -161,7 +163,7 @@ dataset::Family FamilyClassifier::predict(
 }
 
 dataset::Family FamilyClassifier::predict_dbl_only(
-    const features::SampleFeatures& features) {
+    const features::SampleFeatures& features) const {
   std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
   std::vector<double> mass(dataset::kFamilyCount, 0.0);
   accumulate(dbl_model_, features.dbl, votes, mass);
@@ -169,7 +171,7 @@ dataset::Family FamilyClassifier::predict_dbl_only(
 }
 
 dataset::Family FamilyClassifier::predict_lbl_only(
-    const features::SampleFeatures& features) {
+    const features::SampleFeatures& features) const {
   std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
   std::vector<double> mass(dataset::kFamilyCount, 0.0);
   accumulate(lbl_model_, features.lbl, votes, mass);
@@ -177,13 +179,13 @@ dataset::Family FamilyClassifier::predict_lbl_only(
 }
 
 std::vector<std::size_t> FamilyClassifier::predict_dbl(
-    const math::Matrix& vectors) {
-  return nn::argmax_rows(dbl_model_.predict(vectors));
+    const math::Matrix& vectors) const {
+  return nn::argmax_rows(dbl_model_.infer(vectors));
 }
 
 std::vector<std::size_t> FamilyClassifier::predict_lbl(
-    const math::Matrix& vectors) {
-  return nn::argmax_rows(lbl_model_.predict(vectors));
+    const math::Matrix& vectors) const {
+  return nn::argmax_rows(lbl_model_.infer(vectors));
 }
 
 }  // namespace soteria::core

@@ -38,25 +38,27 @@ class FamilyClassifier {
                                 double learning_rate, math::Rng& rng);
 
   /// Majority-vote prediction over a sample's full feature bundle.
+  /// Const and safe for concurrent callers (uses the models'
+  /// thread-safe inference path).
   [[nodiscard]] dataset::Family predict(
-      const features::SampleFeatures& features);
+      const features::SampleFeatures& features) const;
 
   /// Vote tally per class for diagnostics (same order as Family).
   [[nodiscard]] std::vector<std::size_t> vote_counts(
-      const features::SampleFeatures& features);
+      const features::SampleFeatures& features) const;
 
   /// Single-model batch predictions (rows = per-walk vectors).
   [[nodiscard]] std::vector<std::size_t> predict_dbl(
-      const math::Matrix& vectors);
+      const math::Matrix& vectors) const;
   [[nodiscard]] std::vector<std::size_t> predict_lbl(
-      const math::Matrix& vectors);
+      const math::Matrix& vectors) const;
 
   /// Single-model per-sample prediction: majority vote within one
   /// labeling only (used for the Table VII ablation columns).
   [[nodiscard]] dataset::Family predict_dbl_only(
-      const features::SampleFeatures& features);
+      const features::SampleFeatures& features) const;
   [[nodiscard]] dataset::Family predict_lbl_only(
-      const features::SampleFeatures& features);
+      const features::SampleFeatures& features) const;
 
   [[nodiscard]] const nn::TrainReport& dbl_report() const noexcept {
     return dbl_report_;
@@ -69,7 +71,7 @@ class FamilyClassifier {
 
   /// Binary (de)serialization of both CNNs. `load` throws
   /// std::runtime_error on a corrupt stream.
-  void save(std::ostream& out);
+  void save(std::ostream& out) const;
   [[nodiscard]] static FamilyClassifier load(std::istream& in);
 
   /// Default-constructed untrained classifier; a placeholder until
@@ -79,10 +81,10 @@ class FamilyClassifier {
  private:
   /// Accumulates votes and probability mass from one model over a set
   /// of vectors.
-  void accumulate(nn::Sequential& model,
+  void accumulate(const nn::Sequential& model,
                   const std::vector<std::vector<float>>& vectors,
                   std::vector<std::size_t>& votes,
-                  std::vector<double>& probability_mass);
+                  std::vector<double>& probability_mass) const;
 
   nn::CnnConfig dbl_arch_;  ///< architectures actually built
   nn::CnnConfig lbl_arch_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "runtime/thread_pool.h"
+
 namespace soteria::core {
 
 void validate(const SoteriaConfig& config) {
@@ -29,6 +31,10 @@ void validate(const SoteriaConfig& config) {
     throw std::invalid_argument(
         "SoteriaConfig: training_vectors_per_sample outside [1, "
         "walks_per_labeling]");
+  }
+  if (config.num_threads > runtime::kMaxThreads) {
+    throw std::invalid_argument("SoteriaConfig: num_threads exceeds " +
+                                std::to_string(runtime::kMaxThreads));
   }
 }
 

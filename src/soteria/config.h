@@ -53,6 +53,14 @@ struct SoteriaConfig {
   /// Master seed for dataset-independent randomness (weights, dropout,
   /// walk draws during training).
   std::uint64_t seed = 42;
+
+  /// Worker threads for the parallel phases (training feature
+  /// extraction, pipeline fitting, analyze_batch). 0 = all hardware
+  /// threads, 1 = serial fallback. Results are bit-identical at any
+  /// setting: every sample draws from an RNG child derived from its
+  /// index, never from a shared stream. Not persisted by save() —
+  /// it describes the machine, not the model.
+  std::size_t num_threads = 0;
 };
 
 /// Throws std::invalid_argument if any nested config or knob is invalid.

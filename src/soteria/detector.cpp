@@ -50,7 +50,7 @@ AeDetector AeDetector::train(const math::Matrix& clean_features,
         for (std::size_t i = 0; i < half; ++i) idx[i] = i;
         return idx;
       }());
-  const math::Matrix reconstructed_a = detector.model_.predict(part_a);
+  const math::Matrix reconstructed_a = detector.model_.infer(part_a);
   detector.residual_mean_.assign(dim, 0.0);
   detector.residual_stddev_.assign(dim, 0.0);
   for (std::size_t r = 0; r < part_a.rows(); ++r) {
@@ -87,14 +87,15 @@ AeDetector AeDetector::train(const math::Matrix& clean_features,
   return detector;
 }
 
-std::vector<double> AeDetector::scores(const math::Matrix& features) {
+std::vector<double> AeDetector::scores(
+    const math::Matrix& features) const {
   if (residual_stddev_.empty()) {
     throw std::logic_error("AeDetector::scores: detector not calibrated");
   }
   if (features.cols() != residual_stddev_.size()) {
     throw std::invalid_argument("AeDetector::scores: width mismatch");
   }
-  const math::Matrix reconstructed = model_.predict(features);
+  const math::Matrix reconstructed = model_.infer(features);
   std::vector<double> out(features.rows(), 0.0);
   for (std::size_t r = 0; r < features.rows(); ++r) {
     double acc = 0.0;
@@ -110,12 +111,13 @@ std::vector<double> AeDetector::scores(const math::Matrix& features) {
 }
 
 std::vector<double> AeDetector::reconstruction_errors(
-    const math::Matrix& features) {
-  const math::Matrix reconstructed = model_.predict(features);
+    const math::Matrix& features) const {
+  const math::Matrix reconstructed = model_.infer(features);
   return nn::row_rmse(reconstructed, features);
 }
 
-double AeDetector::sample_error(const math::Matrix& sample_vectors) {
+double AeDetector::sample_error(
+    const math::Matrix& sample_vectors) const {
   if (sample_vectors.rows() == 0) {
     throw std::invalid_argument("AeDetector::sample_error: empty sample");
   }
@@ -123,7 +125,8 @@ double AeDetector::sample_error(const math::Matrix& sample_vectors) {
   return math::mean(sample_scores);
 }
 
-bool AeDetector::is_adversarial(const math::Matrix& sample_vectors) {
+bool AeDetector::is_adversarial(
+    const math::Matrix& sample_vectors) const {
   return sample_error(sample_vectors) > threshold_;
 }
 
@@ -135,7 +138,7 @@ void AeDetector::set_alpha(double alpha) {
   threshold_ = mean_ + alpha * stddev_;
 }
 
-void AeDetector::save(std::ostream& out) {
+void AeDetector::save(std::ostream& out) const {
   io::write_scalar<std::uint64_t>(out, arch_.input_dim);
   io::write_vector<std::size_t>(out, arch_.hidden_dims);
   io::write_scalar(out, arch_.width_scale);

@@ -43,20 +43,25 @@ class AeDetector {
                           double learning_rate, math::Rng& rng);
 
   /// Standardized-residual score for every row of `features`.
-  [[nodiscard]] std::vector<double> scores(const math::Matrix& features);
+  /// Const and safe for concurrent callers (uses the model's
+  /// thread-safe inference path).
+  [[nodiscard]] std::vector<double> scores(const math::Matrix& features)
+      const;
 
   /// Plain per-row reconstruction RMSE (unstandardized), for diagnostics
   /// and the Fig. 12 raw-RE sweep.
   [[nodiscard]] std::vector<double> reconstruction_errors(
-      const math::Matrix& features);
+      const math::Matrix& features) const;
 
   /// Mean score over a sample's vectors (the detector input is one
   /// pooled row, but batches work too). Throws std::invalid_argument on
   /// an empty matrix.
-  [[nodiscard]] double sample_error(const math::Matrix& sample_vectors);
+  [[nodiscard]] double sample_error(const math::Matrix& sample_vectors)
+      const;
 
   /// True if the sample's score exceeds the threshold.
-  [[nodiscard]] bool is_adversarial(const math::Matrix& sample_vectors);
+  [[nodiscard]] bool is_adversarial(const math::Matrix& sample_vectors)
+      const;
 
   /// Current threshold Th = mu + alpha * sigma.
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
@@ -80,7 +85,7 @@ class AeDetector {
   /// Binary (de)serialization: architecture, weights, residual
   /// statistics, and threshold calibration. `load` throws
   /// std::runtime_error on a corrupt stream.
-  void save(std::ostream& out);
+  void save(std::ostream& out) const;
   [[nodiscard]] static AeDetector load(std::istream& in);
 
   /// Default-constructed untrained detector; a placeholder until

@@ -4,6 +4,8 @@ namespace soteria::core {
 
 SoteriaConfig paper_config() {
   SoteriaConfig config;  // defaults are already the paper's values
+  // (num_threads = 0, i.e. all hardware threads, is orthogonal to the
+  // paper: results are thread-count invariant.)
   return config;
 }
 
@@ -28,6 +30,7 @@ SoteriaConfig cpu_scaled_config() {
   // paper's rule) lands at the same operating regime. Fig. 13 sweeps
   // the whole range.
   config.detector_alpha = 2.0;
+  config.num_threads = 0;  // saturate the machine; see README Performance
   return config;
 }
 
@@ -44,6 +47,9 @@ SoteriaConfig tiny_config() {
   config.classifier_training = nn::make_train_config(6, 32);
   config.training_vectors_per_sample = 2;
   config.calibration_fraction = 0.25;  // tiny corpora need >= 4 rows
+  // Tiny corpora are cheaper than thread handoff; tests that exercise
+  // the parallel engine override this explicitly.
+  config.num_threads = 1;
   return config;
 }
 

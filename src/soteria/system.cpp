@@ -38,14 +38,15 @@ SoteriaSystem SoteriaSystem::train(
   SoteriaSystem system;
   system.config_ = config;
   math::Rng rng(config.seed);
+  const std::size_t threads = runtime::resolve_threads(config.num_threads);
 
   // 1. Fit the feature pipeline (vocabularies) on the training CFGs.
   std::vector<cfg::Cfg> train_cfgs;
   train_cfgs.reserve(training.size());
   for (const auto& s : training) train_cfgs.push_back(s.cfg);
   math::Rng fit_rng = rng.fork(1);
-  system.pipeline_ =
-      features::FeaturePipeline::fit(train_cfgs, config.pipeline, fit_rng);
+  system.pipeline_ = features::FeaturePipeline::fit(
+      train_cfgs, config.pipeline, fit_rng, threads);
 
   // 2. Extract training features once; assemble the detector's pooled
   //    matrix and the classifiers' per-walk datasets. The last
@@ -58,6 +59,17 @@ SoteriaSystem SoteriaSystem::train(
                            training.size() - 1);
   const std::size_t fit_count = training.size() - holdout_count;
 
+  // Per-sample feature extraction dominates training wall-clock and is
+  // embarrassingly parallel: sample i draws its walks from
+  // extract_rng.child(i), so the extracted bundles (and therefore the
+  // assembled matrices) are identical at any thread count.
+  math::Rng extract_rng = rng.fork(2);
+  const auto extracted = runtime::parallel_map(
+      threads, training.size(), [&](std::size_t i) {
+        math::Rng sample_rng = extract_rng.child(i);
+        return system.pipeline_.extract(training[i].cfg, sample_rng);
+      });
+
   std::vector<std::vector<float>> detector_rows;
   std::vector<std::vector<float>> dbl_rows;
   std::vector<std::vector<float>> lbl_rows;
@@ -67,11 +79,9 @@ SoteriaSystem SoteriaSystem::train(
   dbl_rows.reserve(training.size() * vectors_per_sample);
   lbl_rows.reserve(training.size() * vectors_per_sample);
 
-  math::Rng extract_rng = rng.fork(2);
   for (std::size_t i = 0; i < training.size(); ++i) {
-    const auto& sample = training[i];
-    const auto features = system.pipeline_.extract(sample.cfg, extract_rng);
-    const std::size_t label = dataset::family_index(sample.family);
+    const auto& features = extracted[i];
+    const std::size_t label = dataset::family_index(training[i].family);
     if (i < fit_count) {
       detector_rows.push_back(features.pooled_combined());
     }
@@ -89,14 +99,14 @@ SoteriaSystem SoteriaSystem::train(
   // Calibration vectors: *fresh* extractions (new walks) of the held-out
   // samples, so the threshold sees both cross-sample and cross-walk
   // variation.
-  std::vector<std::vector<float>> calibration_rows;
-  calibration_rows.reserve(holdout_count);
   math::Rng calibration_rng = rng.fork(5);
-  for (std::size_t i = fit_count; i < training.size(); ++i) {
-    const auto features =
-        system.pipeline_.extract(training[i].cfg, calibration_rng);
-    calibration_rows.push_back(features.pooled_combined());
-  }
+  const auto calibration_rows = runtime::parallel_map(
+      threads, holdout_count, [&](std::size_t j) {
+        math::Rng sample_rng = calibration_rng.child(j);
+        return system.pipeline_
+            .extract(training[fit_count + j].cfg, sample_rng)
+            .pooled_combined();
+      });
 
   // 3. Train the detector on clean pooled vectors only.
   math::Rng detector_rng = rng.fork(3);
@@ -122,7 +132,7 @@ features::SampleFeatures SoteriaSystem::extract(const cfg::Cfg& cfg,
 }
 
 Verdict SoteriaSystem::analyze_features(
-    const features::SampleFeatures& features) {
+    const features::SampleFeatures& features) const {
   Verdict verdict;
   verdict.reconstruction_error =
       detector_.sample_error(pooled_matrix(features));
@@ -132,15 +142,30 @@ Verdict SoteriaSystem::analyze_features(
   return verdict;
 }
 
-Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg, math::Rng& rng) {
+Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg, math::Rng& rng) const {
   return analyze_features(extract(cfg, rng));
+}
+
+std::vector<Verdict> SoteriaSystem::analyze_batch(
+    std::span<const cfg::Cfg> cfgs, const math::Rng& rng) const {
+  return analyze_batch(cfgs, rng, config_.num_threads);
+}
+
+std::vector<Verdict> SoteriaSystem::analyze_batch(
+    std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
+    std::size_t num_threads) const {
+  return runtime::parallel_map(
+      num_threads, cfgs.size(), [&](std::size_t i) {
+        math::Rng sample_rng = rng.child(i);
+        return analyze_features(extract(cfgs[i], sample_rng));
+      });
 }
 
 namespace {
 constexpr std::uint32_t kSystemMagic = 0x534f5445;  // "SOTE"
 }
 
-void SoteriaSystem::save(std::ostream& out) {
+void SoteriaSystem::save(std::ostream& out) const {
   io::write_scalar(out, kSystemMagic);
   // Scalars of the SoteriaConfig; the nested architecture configs are
   // stored by the components themselves.
@@ -172,7 +197,7 @@ SoteriaSystem SoteriaSystem::load(std::istream& in) {
   return system;
 }
 
-void SoteriaSystem::save_file(const std::string& path) {
+void SoteriaSystem::save_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw std::runtime_error("SoteriaSystem::save_file: cannot open " +

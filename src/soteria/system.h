@@ -5,9 +5,11 @@
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "dataset/sample.h"
 #include "features/pipeline.h"
+#include "runtime/thread_pool.h"
 #include "soteria/classifier.h"
 #include "soteria/config.h"
 #include "soteria/detector.h"
@@ -30,18 +32,35 @@ class SoteriaSystem {
  public:
   /// Trains the full system on clean training samples: fits the feature
   /// pipeline, trains the detector on combined vectors, and trains the
-  /// two classifier CNNs on per-walk vectors. Throws
+  /// two classifier CNNs on per-walk vectors. Feature extraction for
+  /// training and calibration runs on `config.num_threads` threads;
+  /// every sample draws from an RNG child keyed by its index, so the
+  /// trained system is bit-identical at any thread count. Throws
   /// std::invalid_argument on an empty training set or invalid config.
   static SoteriaSystem train(std::span<const dataset::Sample> training,
                              const SoteriaConfig& config);
 
   /// Extracts features (fresh walks from `rng`) and runs detector +
   /// classifier.
-  [[nodiscard]] Verdict analyze(const cfg::Cfg& cfg, math::Rng& rng);
+  [[nodiscard]] Verdict analyze(const cfg::Cfg& cfg, math::Rng& rng) const;
 
-  /// Runs detector + classifier on pre-extracted features.
+  /// Runs detector + classifier on pre-extracted features. Safe for
+  /// concurrent callers.
   [[nodiscard]] Verdict analyze_features(
-      const features::SampleFeatures& features);
+      const features::SampleFeatures& features) const;
+
+  /// Analyzes many samples concurrently on `config().num_threads`
+  /// threads. Sample i draws walks from `rng.child(i)` (`rng` itself is
+  /// not advanced), so the verdicts are bit-identical to a serial loop
+  /// at any thread count.
+  [[nodiscard]] std::vector<Verdict> analyze_batch(
+      std::span<const cfg::Cfg> cfgs, const math::Rng& rng) const;
+
+  /// analyze_batch with an explicit thread count (0 = all hardware
+  /// threads, 1 = serial).
+  [[nodiscard]] std::vector<Verdict> analyze_batch(
+      std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
+      std::size_t num_threads) const;
 
   /// Feature extraction with this system's fitted pipeline.
   [[nodiscard]] features::SampleFeatures extract(const cfg::Cfg& cfg,
@@ -61,12 +80,12 @@ class SoteriaSystem {
   /// Binary (de)serialization of the whole trained system (config,
   /// vocabularies, detector, classifier). `load` throws
   /// std::runtime_error on a corrupt stream.
-  void save(std::ostream& out);
+  void save(std::ostream& out) const;
   [[nodiscard]] static SoteriaSystem load(std::istream& in);
 
   /// File-path convenience wrappers. Throw std::runtime_error when the
   /// file cannot be opened.
-  void save_file(const std::string& path);
+  void save_file(const std::string& path) const;
   [[nodiscard]] static SoteriaSystem load_file(const std::string& path);
 
   /// Default-constructed untrained system; a placeholder until assigned

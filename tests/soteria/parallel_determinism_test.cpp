@@ -1,0 +1,153 @@
+// Determinism contract of the parallel batch engine: every result that
+// can be computed on N threads must be bit-identical to the serial
+// computation, because each sample draws from an RNG child keyed by its
+// index rather than from a shared sequential stream.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "dataset/generator.h"
+#include "features/pipeline.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
+
+namespace soteria::core {
+namespace {
+
+// Trains the same tiny experiment twice — serially and on 4 threads —
+// once for the whole suite (training dominates test time).
+struct ParallelDeterminismFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    dataset::DatasetConfig data_config;
+    data_config.scale = 0.008;
+    math::Rng rng(29);
+    data = new dataset::Dataset(dataset::generate_dataset(data_config, rng));
+
+    SoteriaConfig config = tiny_config();
+    config.seed = 29;
+    config.num_threads = 1;
+    serial = new SoteriaSystem(SoteriaSystem::train(data->train, config));
+    config.num_threads = 4;
+    parallel = new SoteriaSystem(SoteriaSystem::train(data->train, config));
+  }
+  static void TearDownTestSuite() {
+    delete parallel;
+    delete serial;
+    delete data;
+    parallel = nullptr;
+    serial = nullptr;
+    data = nullptr;
+  }
+
+  [[nodiscard]] static std::vector<cfg::Cfg> test_cfgs(std::size_t n) {
+    std::vector<cfg::Cfg> cfgs;
+    for (std::size_t i = 0; i < std::min(n, data->test.size()); ++i) {
+      cfgs.push_back(data->test[i].cfg);
+    }
+    return cfgs;
+  }
+
+  static dataset::Dataset* data;
+  static SoteriaSystem* serial;
+  static SoteriaSystem* parallel;
+};
+
+dataset::Dataset* ParallelDeterminismFixture::data = nullptr;
+SoteriaSystem* ParallelDeterminismFixture::serial = nullptr;
+SoteriaSystem* ParallelDeterminismFixture::parallel = nullptr;
+
+TEST_F(ParallelDeterminismFixture, TrainedSystemsSerializeIdentically) {
+  std::stringstream serial_stream;
+  std::stringstream parallel_stream;
+  serial->save(serial_stream);
+  parallel->save(parallel_stream);
+  // Byte-for-byte equality of the full save stream: vocabularies,
+  // detector weights, thresholds, classifier weights — everything.
+  EXPECT_EQ(serial_stream.str(), parallel_stream.str());
+}
+
+TEST_F(ParallelDeterminismFixture, FitIsThreadCountInvariant) {
+  std::vector<cfg::Cfg> corpus;
+  for (const auto& s : data->train) corpus.push_back(s.cfg);
+  const auto config = tiny_config().pipeline;
+
+  math::Rng rng_a(31);
+  const auto serial_fit =
+      features::FeaturePipeline::fit(corpus, config, rng_a, 1);
+  for (std::size_t threads : {2U, 8U}) {
+    math::Rng rng_b(31);
+    const auto parallel_fit =
+        features::FeaturePipeline::fit(corpus, config, rng_b, threads);
+    std::stringstream a;
+    std::stringstream b;
+    serial_fit.save(a);
+    parallel_fit.save(b);
+    EXPECT_EQ(a.str(), b.str()) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelDeterminismFixture, AnalyzeBatchIsThreadCountInvariant) {
+  const auto cfgs = test_cfgs(12);
+  ASSERT_FALSE(cfgs.empty());
+  const math::Rng rng(33);
+  const auto baseline = serial->analyze_batch(cfgs, rng, 1);
+  ASSERT_EQ(baseline.size(), cfgs.size());
+  for (std::size_t threads : {2U, 8U}) {
+    const auto verdicts = serial->analyze_batch(cfgs, rng, threads);
+    ASSERT_EQ(verdicts.size(), baseline.size());
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      EXPECT_EQ(verdicts[i].adversarial, baseline[i].adversarial);
+      EXPECT_EQ(verdicts[i].predicted, baseline[i].predicted);
+      // Bit-identical, not approximately equal: same arithmetic in the
+      // same order regardless of which thread ran the sample.
+      EXPECT_EQ(verdicts[i].reconstruction_error,
+                baseline[i].reconstruction_error)
+          << "sample " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismFixture, AnalyzeBatchMatchesPerSampleChildren) {
+  const auto cfgs = test_cfgs(6);
+  const math::Rng rng(35);
+  const auto batch = serial->analyze_batch(cfgs, rng, 4);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    math::Rng sample_rng = rng.child(i);
+    const auto verdict = serial->analyze(cfgs[i], sample_rng);
+    EXPECT_EQ(batch[i].adversarial, verdict.adversarial);
+    EXPECT_EQ(batch[i].predicted, verdict.predicted);
+    EXPECT_EQ(batch[i].reconstruction_error, verdict.reconstruction_error);
+  }
+}
+
+TEST_F(ParallelDeterminismFixture, AnalyzeBatchDoesNotAdvanceCallerRng) {
+  const auto cfgs = test_cfgs(4);
+  math::Rng rng(37);
+  (void)serial->analyze_batch(cfgs, rng, 2);
+  math::Rng fresh(37);
+  EXPECT_EQ(rng.engine()(), fresh.engine()());
+}
+
+TEST_F(ParallelDeterminismFixture, AnalyzeBatchDefaultUsesConfigThreads) {
+  const auto cfgs = test_cfgs(5);
+  const math::Rng rng(39);
+  // `parallel` was trained with num_threads = 4; the 2-arg overload must
+  // agree with the explicit serial call.
+  const auto defaulted = parallel->analyze_batch(cfgs, rng);
+  const auto explicit_serial = parallel->analyze_batch(cfgs, rng, 1);
+  ASSERT_EQ(defaulted.size(), explicit_serial.size());
+  for (std::size_t i = 0; i < defaulted.size(); ++i) {
+    EXPECT_EQ(defaulted[i].reconstruction_error,
+              explicit_serial[i].reconstruction_error);
+    EXPECT_EQ(defaulted[i].predicted, explicit_serial[i].predicted);
+  }
+}
+
+TEST_F(ParallelDeterminismFixture, AnalyzeBatchEmptyInput) {
+  const math::Rng rng(41);
+  EXPECT_TRUE(serial->analyze_batch({}, rng, 4).empty());
+}
+
+}  // namespace
+}  // namespace soteria::core

@@ -126,6 +126,99 @@ TEST_F(SystemFixture, SaveLoadRoundTripsVerdicts) {
   }
 }
 
+// --- Corrupt-stream coverage ------------------------------------------
+// Every loader must reject truncated streams and implausible length
+// prefixes (io::kMaxContainerElements guard) instead of allocating or
+// reading garbage.
+
+std::string save_system(const SoteriaSystem& system) {
+  std::stringstream stream;
+  system.save(stream);
+  return stream.str();
+}
+
+/// Overwrites `count` bytes at `offset` with 0xFF — turns a uint64
+/// length prefix into 2^64 - 1, far beyond kMaxContainerElements.
+std::string corrupt_bytes(std::string bytes, std::size_t offset,
+                          std::size_t count = 8) {
+  EXPECT_LE(offset + count, bytes.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    bytes[offset + i] = static_cast<char>(0xFF);
+  }
+  return bytes;
+}
+
+TEST_F(SystemFixture, LoadRejectsBadMagic) {
+  std::string bytes = save_system(*system);
+  bytes[0] = static_cast<char>(~bytes[0]);
+  std::istringstream in(bytes);
+  EXPECT_THROW((void)SoteriaSystem::load(in), std::runtime_error);
+}
+
+TEST_F(SystemFixture, LoadRejectsTruncatedStreams) {
+  const std::string bytes = save_system(*system);
+  ASSERT_GT(bytes.size(), 44U);
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{3}, bytes.size() / 4, bytes.size() / 2,
+        3 * bytes.size() / 4, bytes.size() - 1}) {
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_THROW((void)SoteriaSystem::load(in), std::runtime_error)
+        << "truncated to " << cut << " of " << bytes.size() << " bytes";
+  }
+}
+
+TEST_F(SystemFixture, LoadRejectsImplausibleContainerSize) {
+  // System header: magic(4) + 3 doubles(24) + 2 uint64(16) = 44 bytes.
+  // The pipeline section starts there; its gram_sizes length prefix
+  // sits 24 bytes in (length_multiplier + walks + top_k).
+  const std::string bytes = save_system(*system);
+  std::istringstream in(corrupt_bytes(bytes, 44 + 24));
+  EXPECT_THROW((void)SoteriaSystem::load(in), std::runtime_error);
+}
+
+TEST_F(SystemFixture, PipelineLoadRejectsCorruptStreams) {
+  std::stringstream stream;
+  system->pipeline().save(stream);
+  const std::string bytes = stream.str();
+
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW((void)features::FeaturePipeline::load(truncated),
+               std::runtime_error);
+
+  // gram_sizes length prefix at offset 24 (after length_multiplier,
+  // walks_per_labeling, top_k).
+  std::istringstream corrupted(corrupt_bytes(bytes, 24));
+  EXPECT_THROW((void)features::FeaturePipeline::load(corrupted),
+               std::runtime_error);
+}
+
+TEST_F(SystemFixture, DetectorLoadRejectsCorruptStreams) {
+  std::stringstream stream;
+  system->detector().save(stream);
+  const std::string bytes = stream.str();
+
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW((void)AeDetector::load(truncated), std::runtime_error);
+
+  // hidden_dims length prefix at offset 8 (after input_dim).
+  std::istringstream corrupted(corrupt_bytes(bytes, 8));
+  EXPECT_THROW((void)AeDetector::load(corrupted), std::runtime_error);
+}
+
+TEST_F(SystemFixture, ClassifierLoadRejectsCorruptStreams) {
+  std::stringstream stream;
+  system->classifier().save(stream);
+  const std::string bytes = stream.str();
+
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW((void)FamilyClassifier::load(truncated), std::runtime_error);
+
+  // The DBL model's parameter stream starts after the two 56-byte
+  // architecture blocks; clobbering its magic must be rejected.
+  std::istringstream corrupted(corrupt_bytes(bytes, 112, 4));
+  EXPECT_THROW((void)FamilyClassifier::load(corrupted), std::runtime_error);
+}
+
 TEST(SoteriaConfigValidation, CatchesBadKnobs) {
   SoteriaConfig config = tiny_config();
   EXPECT_NO_THROW(validate(config));
@@ -143,6 +236,10 @@ TEST(SoteriaConfigValidation, CatchesBadKnobs) {
 
   config = tiny_config();
   config.calibration_fraction = 0.0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.num_threads = runtime::kMaxThreads + 1;
   EXPECT_THROW(validate(config), std::invalid_argument);
 }
 
