@@ -1,11 +1,26 @@
 // Micro-benchmarks for the feature substrate: random walks, n-gram
 // counting, TF-IDF vectorization, and full per-sample extraction — plus
 // a thread-count sweep of the parallel batch engine over a corpus.
+//
+// After the google-benchmark suites, main() runs a tiny end-to-end
+// train + analyze_batch with the observability registry enabled and
+// prints the per-stage timing breakdown (also written to
+// bench_results/perf_features_stages.txt when that directory exists or
+// can be created).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "dataset/generator.h"
 #include "features/pipeline.h"
 #include "graph/generators.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
 
 namespace {
 
@@ -123,6 +138,51 @@ BENCHMARK(BM_ParallelCorpusExtraction)
     ->Arg(static_cast<std::int64_t>(soteria::runtime::hardware_threads()))
     ->UseRealTime();
 
+/// End-to-end stage breakdown: generate a tiny corpus, train the full
+/// system, analyze the test split — all with metrics on — then export
+/// the timing tree covering extraction, labeling, walks, n-grams,
+/// TF-IDF, detector, and classifier stages.
+void emit_stage_breakdown() {
+  obs::registry().reset();
+  obs::set_enabled(true);
+
+  dataset::DatasetConfig data_config;
+  data_config.scale = 0.008;
+  math::Rng rng(42);
+  const auto data = dataset::generate_dataset(data_config, rng);
+  auto config = core::tiny_config();
+  const auto system = core::SoteriaSystem::train(data.train, config);
+
+  std::vector<cfg::Cfg> cfgs;
+  cfgs.reserve(data.test.size());
+  for (const auto& sample : data.test) cfgs.push_back(sample.cfg);
+  const math::Rng analyze_rng(7);
+  (void)system.analyze_batch(cfgs, analyze_rng);
+
+  obs::set_enabled(false);
+  const auto report = obs::export_text(obs::registry().snapshot());
+  std::printf("\n-- end-to-end stage breakdown (tiny corpus) --\n%s",
+              report.c_str());
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/perf_features_stages.txt");
+  if (out) {
+    out << report;
+    std::printf("stage breakdown written to "
+                "bench_results/perf_features_stages.txt\n");
+  } else {
+    std::printf("bench_results/ not writable; breakdown not persisted\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_stage_breakdown();
+  return 0;
+}

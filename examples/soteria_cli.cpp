@@ -9,6 +9,10 @@
 //   soteria_cli attack <model-path> [seed]
 //       Load a model, mount binary-level GEA attacks, verify the AEs
 //       execute (VM), and report how many the detector catches.
+//
+// Any command accepts --metrics (human-readable per-stage breakdown on
+// stdout after the run) and/or --metrics-json (same data as one JSON
+// document).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +23,8 @@
 #include "dataset/generator.h"
 #include "eval/metrics.h"
 #include "isa/vm.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "soteria/presets.h"
 #include "soteria/system.h"
 
@@ -30,7 +36,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: soteria_cli train   <model-path> [scale] [seed]\n"
                "       soteria_cli analyze <model-path> [seed]\n"
-               "       soteria_cli attack  <model-path> [seed]\n");
+               "       soteria_cli attack  <model-path> [seed]\n"
+               "options: --metrics        print per-stage metrics report\n"
+               "         --metrics-json   print metrics as JSON\n");
   return 2;
 }
 
@@ -137,9 +145,7 @@ int cmd_attack(const char* path, std::uint64_t seed) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 3) return usage();
   const char* command = argv[1];
   const char* path = argv[2];
@@ -160,4 +166,36 @@ int main(int argc, char** argv) {
     return 1;
   }
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool metrics_text = false;
+  bool metrics_json = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_text = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_json = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  if (metrics_text || metrics_json) soteria::obs::set_enabled(true);
+
+  const int rc = dispatch(kept, argv);
+
+  if (metrics_text || metrics_json) {
+    const auto snapshot = soteria::obs::registry().snapshot();
+    if (metrics_text) {
+      std::fputs(soteria::obs::export_text(snapshot).c_str(), stdout);
+    }
+    if (metrics_json) {
+      std::fputs(soteria::obs::export_json(snapshot).c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+  }
+  return rc;
 }

@@ -6,6 +6,7 @@
 
 #include "graph/traversal.h"
 #include "isa/isa.h"
+#include "obs/trace.h"
 
 namespace soteria::cfg {
 
@@ -33,8 +34,11 @@ Cfg extract(std::span<const std::uint8_t> image,
   if (image.empty()) {
     throw std::invalid_argument("extract: empty image");
   }
+  const obs::Span span("cfg.extract");
   const auto instructions = isa::disassemble(image);
   const std::size_t n = instructions.size();
+  obs::registry().counter_add("soteria.cfg.images");
+  obs::registry().counter_add("soteria.cfg.instructions", n);
 
   // Pass 1: leaders. Instruction 0, every in-range branch/call target,
   // and every instruction following a block terminator.

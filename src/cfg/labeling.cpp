@@ -6,6 +6,7 @@
 
 #include "graph/centrality.h"
 #include "graph/traversal.h"
+#include "obs/trace.h"
 
 namespace soteria::cfg {
 
@@ -36,6 +37,8 @@ std::vector<NodeRank> node_ranks(const Cfg& cfg) {
 std::vector<Label> label_nodes(const Cfg& cfg, LabelingMethod method) {
   const std::size_t n = cfg.node_count();
   if (n == 0) throw std::invalid_argument("label_nodes: empty CFG");
+  const obs::Span span(method == LabelingMethod::kDensity ? "cfg.label.dbl"
+                                                          : "cfg.label.lbl");
 
   const auto ranks = node_ranks(cfg);
   std::vector<graph::NodeId> order(n);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "io/binary_io.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace soteria::features {
@@ -82,6 +83,7 @@ FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
   if (training.empty()) {
     throw std::invalid_argument("FeaturePipeline::fit: empty corpus");
   }
+  const obs::Span span("pipeline.fit");
   FeaturePipeline pipeline;
   pipeline.config_ = config;
 
@@ -113,13 +115,17 @@ FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
     dbl_corpus.push_back(std::move(sample.dbl));
     lbl_corpus.push_back(std::move(sample.lbl));
   }
-  pipeline.dbl_vocab_ = Vocabulary::build(dbl_corpus, config.top_k);
-  pipeline.lbl_vocab_ = Vocabulary::build(lbl_corpus, config.top_k);
+  {
+    const obs::Span vocab_span("vocab.build");
+    pipeline.dbl_vocab_ = Vocabulary::build(dbl_corpus, config.top_k);
+    pipeline.lbl_vocab_ = Vocabulary::build(lbl_corpus, config.top_k);
+  }
   return pipeline;
 }
 
 SampleFeatures FeaturePipeline::extract(const cfg::Cfg& cfg,
                                         math::Rng& rng) const {
+  const obs::Span span("pipeline.extract");
   SampleFeatures features;
   const auto dbl_labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kDensity);
   const auto lbl_labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kLevel);
@@ -127,28 +133,46 @@ SampleFeatures FeaturePipeline::extract(const cfg::Cfg& cfg,
   const auto dbl_walks = labeled_walks(cfg, dbl_labels, config_.walk, rng);
   const auto lbl_walks = labeled_walks(cfg, lbl_labels, config_.walk, rng);
 
+  // Staged so the gram-counting and vectorisation costs show up as
+  // separate spans in the timing tree.
+  std::vector<GramCounts> dbl_counts;
+  std::vector<GramCounts> lbl_counts;
   GramCounts dbl_pooled;
-  features.dbl.reserve(dbl_walks.size());
-  for (const auto& walk : dbl_walks) {
-    GramCounts counts;
-    count_grams(walk, config_.gram_sizes, counts);
-    for (const auto& [key, count] : counts) dbl_pooled[key] += count;
-    features.dbl.push_back(
-        dbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
-  }
   GramCounts lbl_pooled;
-  features.lbl.reserve(lbl_walks.size());
-  for (const auto& walk : lbl_walks) {
-    GramCounts counts;
-    count_grams(walk, config_.gram_sizes, counts);
-    for (const auto& [key, count] : counts) lbl_pooled[key] += count;
-    features.lbl.push_back(
-        lbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
+  {
+    const obs::Span ngram_span("features.ngrams");
+    dbl_counts.reserve(dbl_walks.size());
+    for (const auto& walk : dbl_walks) {
+      GramCounts counts;
+      count_grams(walk, config_.gram_sizes, counts);
+      for (const auto& [key, count] : counts) dbl_pooled[key] += count;
+      dbl_counts.push_back(std::move(counts));
+    }
+    lbl_counts.reserve(lbl_walks.size());
+    for (const auto& walk : lbl_walks) {
+      GramCounts counts;
+      count_grams(walk, config_.gram_sizes, counts);
+      for (const auto& [key, count] : counts) lbl_pooled[key] += count;
+      lbl_counts.push_back(std::move(counts));
+    }
   }
-  features.pooled_dbl =
-      dbl_vocab_.tfidf_vector(dbl_pooled, config_.l2_normalize);
-  features.pooled_lbl =
-      lbl_vocab_.tfidf_vector(lbl_pooled, config_.l2_normalize);
+  {
+    const obs::Span tfidf_span("features.tfidf");
+    features.dbl.reserve(dbl_counts.size());
+    for (const auto& counts : dbl_counts) {
+      features.dbl.push_back(
+          dbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
+    }
+    features.lbl.reserve(lbl_counts.size());
+    for (const auto& counts : lbl_counts) {
+      features.lbl.push_back(
+          lbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
+    }
+    features.pooled_dbl =
+        dbl_vocab_.tfidf_vector(dbl_pooled, config_.l2_normalize);
+    features.pooled_lbl =
+        lbl_vocab_.tfidf_vector(lbl_pooled, config_.l2_normalize);
+  }
   return features;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace soteria::features {
 
 UndirectedView::UndirectedView(const cfg::Cfg& cfg) : entry_(cfg.entry()) {
@@ -61,9 +63,14 @@ std::vector<std::vector<cfg::Label>> labeled_walks(
     const cfg::Cfg& cfg, const std::vector<cfg::Label>& labels,
     const WalkConfig& config, math::Rng& rng) {
   validate(config);
+  const obs::Span span("features.walks");
   const UndirectedView view(cfg);
   const auto steps = static_cast<std::size_t>(std::llround(
       config.length_multiplier * static_cast<double>(cfg.node_count())));
+  obs::registry().counter_add("soteria.features.walks",
+                              config.walks_per_labeling);
+  obs::registry().counter_add("soteria.features.walk_steps",
+                              config.walks_per_labeling * steps);
   std::vector<std::vector<cfg::Label>> walks;
   walks.reserve(config.walks_per_labeling);
   for (std::size_t w = 0; w < config.walks_per_labeling; ++w) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/loss.h"
+#include "obs/trace.h"
 
 namespace soteria::nn {
 
@@ -39,6 +40,7 @@ TrainReport epoch_loop(std::size_t sample_count, const TrainConfig& config,
   TrainReport report;
   report.epoch_losses.reserve(config.epochs);
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const obs::Span epoch_span("nn.epoch");
     if (config.shuffle) rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t batches = 0;
@@ -53,6 +55,8 @@ TrainReport epoch_loop(std::size_t sample_count, const TrainConfig& config,
     }
     const double epoch_loss = loss_sum / static_cast<double>(batches);
     report.epoch_losses.push_back(epoch_loss);
+    obs::registry().counter_add("soteria.nn.epochs");
+    obs::registry().gauge_set("soteria.nn.loss", epoch_loss);
     if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
   }
   return report;

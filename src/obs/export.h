@@ -1,0 +1,36 @@
+// Text and JSON exporters for metric snapshots.
+//
+// `export_text` renders a human-oriented report: counters, gauges, a
+// stage-timing tree built from the span paths (histograms whose name
+// starts with trace.h's kTimePrefix, values in seconds, printed in
+// ms), and the remaining value histograms with quantile estimates.
+// `export_json` emits one machine-readable document whose structure is
+// mirrored by the obs test suite through obs::json::parse.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace soteria::obs {
+
+/// Human-readable report of `snapshot`.
+[[nodiscard]] std::string export_text(const Snapshot& snapshot);
+
+/// JSON document:
+///   {"counters": {name: n, ...},
+///    "gauges": {name: x, ...},
+///    "histograms": {name: {"count": n, "sum": x, "min": x, "max": x,
+///                          "mean": x, "p50": x, "p95": x,
+///                          "buckets": [{"le": bound, "count": n}, ...]},
+///                   ...}}
+/// Span timings keep their "t/..." names; non-finite numbers are
+/// emitted as null (JSON has no NaN/Inf).
+[[nodiscard]] std::string export_json(const Snapshot& snapshot);
+
+/// Stream helpers (same content as the string exporters).
+void write_text(std::ostream& out, const Snapshot& snapshot);
+void write_json(std::ostream& out, const Snapshot& snapshot);
+
+}  // namespace soteria::obs

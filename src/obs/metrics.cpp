@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace soteria::obs {
+
+namespace {
+
+/// Smallest finite bucket boundary: 1 microsecond (in seconds) for
+/// latencies, 1e-6 as a plain magnitude otherwise.
+constexpr double kFirstBound = 1e-6;
+
+/// Bucket index for `value`: the first bucket whose upper bound is >=
+/// value, or the overflow slot. Branch-free log2 would be overkill —
+/// 27 iterations worst case, and record() is not the hot path's hot
+/// path (it runs only when observability is on).
+std::size_t bucket_index(double value) noexcept {
+  double bound = kFirstBound;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (value <= bound) return i;
+    bound *= 2.0;
+  }
+  return kHistogramBuckets;  // overflow
+}
+
+std::atomic<std::uint64_t> next_registry_id{1};
+
+}  // namespace
+
+double bucket_upper_bound(std::size_t i) noexcept {
+  double bound = kFirstBound;
+  for (std::size_t k = 0; k < i && k < kHistogramBuckets; ++k) {
+    bound *= 2.0;
+  }
+  return bound;
+}
+
+void HistogramData::record(double value) noexcept {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  ++buckets[bucket_index(value)];
+}
+
+void HistogramData::merge(const HistogramData& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double HistogramData::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      return i < kHistogramBuckets ? std::min(bucket_upper_bound(i), max)
+                                   : max;
+    }
+  }
+  return max;
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled)
+    : enabled_(enabled),
+      id_(next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Cache keyed by process-unique registry id, never by address, so a
+  // registry reallocated at a dead registry's address cannot inherit
+  // its shard. Entries for dead registries stay cached (bounded by the
+  // number of registries this thread ever wrote to) — the shared_ptr
+  // keeps the shard storage valid either way.
+  thread_local std::unordered_map<std::uint64_t, std::shared_ptr<Shard>>
+      cache;
+  auto it = cache.find(id_);
+  if (it == cache.end()) {
+    auto shard = std::make_shared<Shard>();
+    {
+      const std::lock_guard<std::mutex> lock(shards_mutex_);
+      shards_.push_back(shard);
+    }
+    it = cache.emplace(id_, std::move(shard)).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::counter_add(std::string_view name,
+                                  std::uint64_t delta) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    shard.counters.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::uint64_t version =
+      gauge_version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    shard.gauges.emplace(std::string(name), GaugeCell{version, value});
+  } else {
+    it->second = GaugeCell{version, value};
+  }
+}
+
+void MetricsRegistry::record(std::string_view name, double value) {
+  if (!enabled()) return;
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms.emplace(std::string(name), HistogramData{}).first;
+  }
+  it->second.record(value);
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    shards = shards_;
+  }
+  Snapshot out;
+  std::map<std::string, std::uint64_t> gauge_versions;
+  for (const auto& shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, value] : shard->counters) {
+      out.counters[name] += value;
+    }
+    for (const auto& [name, cell] : shard->gauges) {
+      auto it = gauge_versions.find(name);
+      if (it == gauge_versions.end() || cell.version > it->second) {
+        gauge_versions[name] = cell.version;
+        out.gauges[name] = cell.value;
+      }
+    }
+    for (const auto& [name, data] : shard->histograms) {
+      out.histograms[name].merge(data);
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    shards = shards_;
+  }
+  for (const auto& shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->counters.clear();
+    shard->gauges.clear();
+    shard->histograms.clear();
+  }
+}
+
+MetricsRegistry& registry() noexcept {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace soteria::obs

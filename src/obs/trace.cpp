@@ -1,0 +1,51 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace soteria::obs {
+
+namespace {
+
+/// Current span path of this thread, *excluding* the kTimePrefix. One
+/// string mutated in place: Span appends "/<name>" (or "<name>" at top
+/// level) on entry and truncates back on exit, so nesting costs no
+/// allocations once the string's capacity has grown.
+std::string& thread_path() {
+  thread_local std::string path;
+  return path;
+}
+
+}  // namespace
+
+SpanContext current_span_context() { return SpanContext{thread_path()}; }
+
+SpanContextGuard::SpanContextGuard(const SpanContext& context)
+    : saved_(std::exchange(thread_path(), context.path)) {}
+
+SpanContextGuard::~SpanContextGuard() { thread_path() = std::move(saved_); }
+
+Span::Span(std::string_view name, MetricsRegistry& registry) {
+  if (!registry.enabled()) return;
+  registry_ = &registry;
+  std::string& path = thread_path();
+  parent_length_ = path.size();
+  if (!path.empty()) path += '/';
+  path += name;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  std::string& path = thread_path();
+  std::string name;
+  name.reserve(kTimePrefix.size() + path.size());
+  name += kTimePrefix;
+  name += path;
+  registry_->record(name, elapsed);
+  path.resize(parent_length_);
+}
+
+}  // namespace soteria::obs

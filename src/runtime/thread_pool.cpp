@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace soteria::runtime {
 
 namespace {
@@ -53,8 +55,15 @@ struct Region {
   std::size_t finished_runners = 0;  // guarded by mutex
   std::exception_ptr error;          // guarded by mutex
 
+  /// The caller's span nesting at region start, installed on every
+  /// runner so a traced stage records the same path no matter which
+  /// thread executes it (per-path aggregates stay thread-count
+  /// invariant). Empty when tracing is off.
+  obs::SpanContext span_context;
+
   void run_indices() {
     RegionGuard guard;
+    const obs::SpanContextGuard span_guard(span_context);
     while (!poisoned.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
@@ -137,6 +146,7 @@ void ThreadPool::parallel_for(
   auto region = std::make_shared<Region>();
   region->body = &body;
   region->n = n;
+  region->span_context = obs::current_span_context();
   const std::size_t queued_runners = std::min(impl_->workers.size(), n - 1);
   region->total_runners = queued_runners + 1;
 

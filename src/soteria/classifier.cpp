@@ -6,6 +6,7 @@
 #include "io/binary_io.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 
 namespace soteria::core {
 
@@ -80,6 +81,7 @@ FamilyClassifier FamilyClassifier::train(const LabeledVectors& dbl,
                                          const nn::TrainConfig& training,
                                          double learning_rate,
                                          math::Rng& rng) {
+  const obs::Span span("classifier.train");
   FamilyClassifier classifier;
   classifier.dbl_model_ =
       train_one(dbl, config, training, learning_rate, rng,
@@ -151,14 +153,33 @@ dataset::Family vote_winner(const std::vector<std::size_t>& votes,
   return dataset::family_from_index(best);
 }
 
+/// Winner votes minus runner-up votes: 0 means a mass-broken tie.
+std::size_t vote_margin(const std::vector<std::size_t>& votes) {
+  std::size_t top = 0;
+  std::size_t second = 0;
+  for (const std::size_t v : votes) {
+    if (v > top) {
+      second = top;
+      top = v;
+    } else if (v > second) {
+      second = v;
+    }
+  }
+  return top - second;
+}
+
 }  // namespace
 
 dataset::Family FamilyClassifier::predict(
     const features::SampleFeatures& features) const {
+  const obs::Span span("classifier.predict");
   std::vector<std::size_t> votes(dataset::kFamilyCount, 0);
   std::vector<double> mass(dataset::kFamilyCount, 0.0);
   accumulate(dbl_model_, features.dbl, votes, mass);
   accumulate(lbl_model_, features.lbl, votes, mass);
+  obs::registry().counter_add("soteria.classifier.predictions");
+  obs::registry().record("soteria.classifier.vote_margin",
+                         static_cast<double>(vote_margin(votes)));
   return vote_winner(votes, mass);
 }
 

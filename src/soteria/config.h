@@ -61,6 +61,15 @@ struct SoteriaConfig {
   /// index, never from a shared stream. Not persisted by save() —
   /// it describes the machine, not the model.
   std::size_t num_threads = 0;
+
+  /// Enable the process-wide observability registry (obs/metrics.h)
+  /// before training starts: stage timings, counters, and value
+  /// distributions accumulate for later export. Off by default; when
+  /// off, every instrumentation site is a single relaxed atomic load.
+  /// The flag only ever turns collection on (never off — other code may
+  /// have enabled it), and like num_threads it is not persisted by
+  /// save().
+  bool collect_metrics = false;
 };
 
 /// Throws std::invalid_argument if any nested config or knob is invalid.

@@ -7,6 +7,7 @@
 #include "math/stats.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 
 namespace soteria::core {
 
@@ -17,6 +18,9 @@ AeDetector AeDetector::train(const math::Matrix& clean_features,
                              double learning_rate, math::Rng& rng) {
   if (clean_features.rows() == 0 || clean_features.cols() == 0) {
     throw std::invalid_argument("AeDetector::train: empty feature matrix");
+  }
+  if (calibration_features.rows() == 0) {
+    throw std::invalid_argument("AeDetector::train: empty calibration set");
   }
   if (calibration_features.cols() != clean_features.cols()) {
     throw std::invalid_argument(
@@ -29,6 +33,7 @@ AeDetector AeDetector::train(const math::Matrix& clean_features,
   if (alpha < 0.0) {
     throw std::invalid_argument("AeDetector::train: negative alpha");
   }
+  const obs::Span span("detector.train");
 
   nn::AutoencoderConfig arch = config;
   arch.input_dim = clean_features.cols();
@@ -82,6 +87,17 @@ AeDetector AeDetector::train(const math::Matrix& clean_features,
   const auto calibration_scores = detector.scores(part_b);
   detector.mean_ = math::mean(calibration_scores);
   detector.stddev_ = math::stddev(calibration_scores);
+  // Degenerate calibration must collapse the threshold to the mean,
+  // never to NaN. All-identical scores are forced to sigma = 0 exactly
+  // (the mean of n copies of x can differ from x by an ulp, leaving a
+  // spurious ~1e-17 deviation), and a non-finite or non-positive sigma
+  // is discarded.
+  if (math::min(calibration_scores) == math::max(calibration_scores)) {
+    detector.stddev_ = 0.0;
+  }
+  if (!std::isfinite(detector.stddev_) || detector.stddev_ <= 0.0) {
+    detector.stddev_ = 0.0;
+  }
   detector.alpha_ = alpha;
   detector.threshold_ = detector.mean_ + alpha * detector.stddev_;
   return detector;
@@ -95,6 +111,7 @@ std::vector<double> AeDetector::scores(
   if (features.cols() != residual_stddev_.size()) {
     throw std::invalid_argument("AeDetector::scores: width mismatch");
   }
+  const obs::Span span("detector.score");
   const math::Matrix reconstructed = model_.infer(features);
   std::vector<double> out(features.rows(), 0.0);
   for (std::size_t r = 0; r < features.rows(); ++r) {
@@ -106,6 +123,7 @@ std::vector<double> AeDetector::scores(
       acc += z * z;
     }
     out[r] = std::sqrt(acc / static_cast<double>(features.cols()));
+    obs::registry().record("soteria.detector.score", out[r]);
   }
   return out;
 }

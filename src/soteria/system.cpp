@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "io/binary_io.h"
+#include "obs/trace.h"
 
 namespace soteria::core {
 
@@ -35,6 +36,9 @@ SoteriaSystem SoteriaSystem::train(
     throw std::invalid_argument("SoteriaSystem::train: empty training set");
   }
 
+  if (config.collect_metrics) obs::set_enabled(true);
+  const obs::Span train_span("soteria.train");
+
   SoteriaSystem system;
   system.config_ = config;
   math::Rng rng(config.seed);
@@ -64,11 +68,14 @@ SoteriaSystem SoteriaSystem::train(
   // extract_rng.child(i), so the extracted bundles (and therefore the
   // assembled matrices) are identical at any thread count.
   math::Rng extract_rng = rng.fork(2);
-  const auto extracted = runtime::parallel_map(
-      threads, training.size(), [&](std::size_t i) {
-        math::Rng sample_rng = extract_rng.child(i);
-        return system.pipeline_.extract(training[i].cfg, sample_rng);
-      });
+  const auto extracted = [&] {
+    const obs::Span span("extract");
+    return runtime::parallel_map(
+        threads, training.size(), [&](std::size_t i) {
+          math::Rng sample_rng = extract_rng.child(i);
+          return system.pipeline_.extract(training[i].cfg, sample_rng);
+        });
+  }();
 
   std::vector<std::vector<float>> detector_rows;
   std::vector<std::vector<float>> dbl_rows;
@@ -100,13 +107,16 @@ SoteriaSystem SoteriaSystem::train(
   // samples, so the threshold sees both cross-sample and cross-walk
   // variation.
   math::Rng calibration_rng = rng.fork(5);
-  const auto calibration_rows = runtime::parallel_map(
-      threads, holdout_count, [&](std::size_t j) {
-        math::Rng sample_rng = calibration_rng.child(j);
-        return system.pipeline_
-            .extract(training[fit_count + j].cfg, sample_rng)
-            .pooled_combined();
-      });
+  const auto calibration_rows = [&] {
+    const obs::Span span("calibrate");
+    return runtime::parallel_map(
+        threads, holdout_count, [&](std::size_t j) {
+          math::Rng sample_rng = calibration_rng.child(j);
+          return system.pipeline_
+              .extract(training[fit_count + j].cfg, sample_rng)
+              .pooled_combined();
+        });
+  }();
 
   // 3. Train the detector on clean pooled vectors only.
   math::Rng detector_rng = rng.fork(3);
@@ -139,10 +149,17 @@ Verdict SoteriaSystem::analyze_features(
   verdict.adversarial =
       verdict.reconstruction_error > detector_.threshold();
   verdict.predicted = classifier_.predict(features);
+  obs::registry().counter_add("soteria.detector.analyzed");
+  if (verdict.adversarial) {
+    obs::registry().counter_add("soteria.detector.flagged");
+  }
+  obs::registry().record("soteria.detector.sample_error",
+                         verdict.reconstruction_error);
   return verdict;
 }
 
 Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg, math::Rng& rng) const {
+  const obs::Span span("soteria.analyze");
   return analyze_features(extract(cfg, rng));
 }
 
@@ -154,6 +171,7 @@ std::vector<Verdict> SoteriaSystem::analyze_batch(
 std::vector<Verdict> SoteriaSystem::analyze_batch(
     std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
     std::size_t num_threads) const {
+  const obs::Span span("soteria.analyze_batch");
   return runtime::parallel_map(
       num_threads, cfgs.size(), [&](std::size_t i) {
         math::Rng sample_rng = rng.child(i);

@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/thread_pool.h"
+
+namespace soteria::obs {
+namespace {
+
+TEST(Span, RecordsNestedPathsAsTimingHistograms) {
+  MetricsRegistry reg(true);
+  {
+    const Span outer("train", reg);
+    EXPECT_EQ(current_span_context().path, "train");
+    {
+      const Span inner("fit", reg);
+      EXPECT_EQ(current_span_context().path, "train/fit");
+    }
+    { const Span inner("extract", reg); }
+  }
+  EXPECT_EQ(current_span_context().path, "");
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.histograms.at("t/train").count, 1U);
+  EXPECT_EQ(snap.histograms.at("t/train/fit").count, 1U);
+  EXPECT_EQ(snap.histograms.at("t/train/extract").count, 1U);
+  EXPECT_GE(snap.histograms.at("t/train").sum,
+            snap.histograms.at("t/train/fit").sum);
+}
+
+TEST(Span, RepeatedSpansAggregateIntoOneHistogram) {
+  MetricsRegistry reg(true);
+  for (int i = 0; i < 5; ++i) {
+    const Span span("step", reg);
+  }
+  EXPECT_EQ(reg.snapshot().histograms.at("t/step").count, 5U);
+}
+
+TEST(Span, DisabledRegistryMeansNoPathAndNoRecord) {
+  MetricsRegistry reg;  // disabled
+  {
+    const Span span("ghost", reg);
+    EXPECT_EQ(current_span_context().path, "");
+  }
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Span, TimePrefixDistinguishesSpansFromValueHistograms) {
+  MetricsRegistry reg(true);
+  { const Span span("stage", reg); }
+  reg.record("stage", 1.0);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.histograms.count("t/stage"), 1U);
+  EXPECT_EQ(snap.histograms.count("stage"), 1U);
+}
+
+TEST(SpanContextGuard, InstallsAndRestores) {
+  MetricsRegistry reg(true);
+  EXPECT_EQ(current_span_context().path, "");
+  {
+    const SpanContextGuard guard(SpanContext{"outer/stage"});
+    EXPECT_EQ(current_span_context().path, "outer/stage");
+    { const Span span("leaf", reg); }
+  }
+  EXPECT_EQ(current_span_context().path, "");
+  EXPECT_EQ(reg.snapshot().histograms.at("t/outer/stage/leaf").count, 1U);
+}
+
+// A stage executed inside a parallel region must record under the
+// caller's span path no matter which thread runs it — this is what
+// makes per-path aggregates identical at every thread count.
+TEST(SpanContext, PropagatesThroughThreadPool) {
+  auto& reg = registry();
+  const bool was_enabled = reg.enabled();
+  reg.reset();
+  reg.set_enabled(true);
+
+  constexpr std::size_t kItems = 32;
+  {
+    runtime::ThreadPool pool(4);
+    const Span stage("batch");
+    pool.parallel_for(kItems, [&](std::size_t) {
+      const Span work("work");
+    });
+  }
+
+  const auto snap = reg.snapshot();
+  reg.reset();
+  reg.set_enabled(was_enabled);
+
+  ASSERT_EQ(snap.histograms.count("t/batch/work"), 1U);
+  EXPECT_EQ(snap.histograms.at("t/batch/work").count, kItems);
+  // No stray path: every "work" span nested under "batch".
+  for (const auto& [name, data] : snap.histograms) {
+    if (name.find("work") != std::string::npos) {
+      EXPECT_EQ(name, "t/batch/work") << "stray span path: " << name;
+    }
+  }
+}
+
+TEST(SpanContext, SerialFallbackKeepsCallerPath) {
+  auto& reg = registry();
+  const bool was_enabled = reg.enabled();
+  reg.reset();
+  reg.set_enabled(true);
+
+  {
+    const Span stage("serial");
+    runtime::parallel_for(1, 8, [&](std::size_t) {
+      const Span work("work");
+    });
+  }
+
+  const auto snap = reg.snapshot();
+  reg.reset();
+  reg.set_enabled(was_enabled);
+
+  ASSERT_EQ(snap.histograms.count("t/serial/work"), 1U);
+  EXPECT_EQ(snap.histograms.at("t/serial/work").count, 8U);
+}
+
+}  // namespace
+}  // namespace soteria::obs

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <string>
 
 namespace soteria::core {
 namespace {
@@ -138,6 +140,55 @@ TEST(AeDetector, LoadRejectsGarbage) {
   std::stringstream stream;
   stream.write("nonsense", 8);
   EXPECT_THROW((void)AeDetector::load(stream), std::runtime_error);
+}
+
+// A calibration set whose rows are bit-identical produces identical
+// reconstruction-error scores: sigma must collapse to exactly 0 and the
+// threshold to exactly the mean — never NaN, never a spurious epsilon
+// from FP cancellation in the variance.
+TEST(AeDetector, DegenerateCalibrationYieldsMeanThreshold) {
+  math::Rng rng(12);
+  const auto train = cluster(64, 1.0F, 13);
+  math::Matrix calibration(16, 24);
+  for (std::size_t r = 0; r < calibration.rows(); ++r) {
+    for (std::size_t c = 0; c < calibration.cols(); ++c) {
+      calibration(r, c) = (c % 4 == 0) ? 1.0F : 0.1F;
+    }
+  }
+  auto detector =
+      AeDetector::train(train, calibration, tiny_arch(),
+                        nn::make_train_config(10, 16), 1.0, 1e-2, rng);
+  EXPECT_TRUE(std::isfinite(detector.threshold()));
+  EXPECT_FALSE(std::isnan(detector.threshold()));
+  EXPECT_DOUBLE_EQ(detector.training_stddev(), 0.0);
+  EXPECT_EQ(detector.threshold(), detector.training_mean());
+
+  // Re-deriving the threshold from any alpha keeps Th == mu.
+  detector.set_alpha(100.0);
+  EXPECT_EQ(detector.threshold(), detector.training_mean());
+}
+
+TEST(AeDetector, EmptyCalibrationSetIsRejected) {
+  math::Rng rng(14);
+  const auto train = cluster(16, 1.0F, 15);
+  EXPECT_THROW(
+      {
+        try {
+          (void)AeDetector::train(train, math::Matrix(0, 24), tiny_arch(),
+                                  nn::make_train_config(1, 4), 1.0, 1e-2,
+                                  rng);
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("empty calibration set"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::invalid_argument);
+  // A default-constructed (0 x 0) matrix hits the same guard.
+  EXPECT_THROW((void)AeDetector::train(train, math::Matrix{}, tiny_arch(),
+                                       nn::make_train_config(1, 4), 1.0,
+                                       1e-2, rng),
+               std::invalid_argument);
 }
 
 }  // namespace
