@@ -1,0 +1,109 @@
+#include "common/perf_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace soteria::bench {
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(9);
+  tmp << v;
+  out << tmp.str();
+}
+
+}  // namespace
+
+bool update_perf_json(const std::string& path, const std::string& section,
+                      const std::map<std::string, double>& values) {
+  // Existing sections survive; only `section` is replaced/merged.
+  std::map<std::string, std::map<std::string, double>> document;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      try {
+        const auto parsed = obs::json::parse(buffer.str());
+        for (const auto& [name, body] : parsed.as_object()) {
+          for (const auto& [key, value] : body.as_object()) {
+            if (value.type() == obs::json::Value::Type::kNumber) {
+              document[name][key] = value.as_number();
+            }
+          }
+        }
+      } catch (const std::runtime_error&) {
+        document.clear();  // malformed: rebuild from scratch
+      }
+    }
+  }
+  auto& target = document[section];
+  for (const auto& [key, value] : values) target[key] = value;
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  bool first_section = true;
+  for (const auto& [name, body] : document) {
+    if (!first_section) out << ",\n";
+    first_section = false;
+    out << "  ";
+    write_escaped(out, name);
+    out << ": {\n";
+    bool first_key = true;
+    for (const auto& [key, value] : body) {
+      if (!first_key) out << ",\n";
+      first_key = false;
+      out << "    ";
+      write_escaped(out, key);
+      out << ": ";
+      write_number(out, value);
+    }
+    out << "\n  }";
+  }
+  out << "\n}\n";
+  return out.good();
+}
+
+std::map<std::string, double> stage_means_ms(const obs::Snapshot& snapshot) {
+  std::map<std::string, double> means;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    if (!name.starts_with(obs::kTimePrefix) || histogram.count == 0) {
+      continue;
+    }
+    means[name.substr(obs::kTimePrefix.size())] = histogram.mean() * 1e3;
+  }
+  return means;
+}
+
+}  // namespace soteria::bench

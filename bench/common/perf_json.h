@@ -1,0 +1,30 @@
+// Read-merge-write helper for the repo-root BENCH_perf.json: a flat
+// machine-readable summary of the perf benchmarks, one top-level
+// section per bench binary, each mapping a metric name to a number
+// (stage means in ms, sweep timings, ...). Benches update only their
+// own section, so running perf_features and perf_graph in either order
+// converges to the same document.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace soteria::bench {
+
+/// Merges `values` into the `section` object of the JSON document at
+/// `path` (created if absent; other sections preserved) and rewrites
+/// the file with sorted keys and stable formatting. Returns false
+/// (without throwing) when the file cannot be written; a malformed
+/// existing document is replaced rather than merged.
+bool update_perf_json(const std::string& path, const std::string& section,
+                      const std::map<std::string, double>& values);
+
+/// Per-stage mean latencies in milliseconds from a metrics snapshot:
+/// every span-timing histogram ("t/..." names), keyed by its full
+/// span path with the prefix stripped.
+[[nodiscard]] std::map<std::string, double> stage_means_ms(
+    const obs::Snapshot& snapshot);
+
+}  // namespace soteria::bench

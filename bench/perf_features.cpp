@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/perf_json.h"
 #include "dataset/generator.h"
 #include "features/pipeline.h"
 #include "graph/generators.h"
@@ -160,7 +161,8 @@ void emit_stage_breakdown() {
   (void)system.analyze_batch(cfgs, analyze_rng);
 
   obs::set_enabled(false);
-  const auto report = obs::export_text(obs::registry().snapshot());
+  const auto snapshot = obs::registry().snapshot();
+  const auto report = obs::export_text(snapshot);
   std::printf("\n-- end-to-end stage breakdown (tiny corpus) --\n%s",
               report.c_str());
 
@@ -173,6 +175,11 @@ void emit_stage_breakdown() {
                 "bench_results/perf_features_stages.txt\n");
   } else {
     std::printf("bench_results/ not writable; breakdown not persisted\n");
+  }
+  // Machine-readable stage means (ms per span path) for trend tracking.
+  if (bench::update_perf_json("BENCH_perf.json", "perf_features",
+                              bench::stage_means_ms(snapshot))) {
+    std::printf("stage means recorded in BENCH_perf.json\n");
   }
 }
 

@@ -1,10 +1,27 @@
 // Micro-benchmarks for the graph substrate: BFS, centrality, labeling,
 // whole-graph properties, and CFG extraction across graph sizes.
+//
+// After the google-benchmark suites, main() runs the centrality
+// scaling sweep: the fused single-pass implementation across graph
+// sizes (~1e2..1e4 nodes) and thread counts (1/2/4/8), verifying the
+// thread-count determinism contract on every cell, printing a table to
+// stdout and bench_results/perf_centrality.txt, and recording the cell
+// timings in the repo-root BENCH_perf.json (section "perf_graph").
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "cfg/extractor.h"
 #include "cfg/gea.h"
 #include "cfg/labeling.h"
+#include "common/perf_json.h"
 #include "dataset/family_profiles.h"
 #include "graph/centrality.h"
 #include "graph/generators.h"
@@ -95,6 +112,92 @@ void BM_GeaCombine(benchmark::State& state) {
 }
 BENCHMARK(BM_GeaCombine);
 
+/// Fused-centrality scaling sweep. Each (nodes, threads) cell times
+/// `centrality_scores` on the same fixed graph; the 1-thread result is
+/// the determinism reference every other thread count must match
+/// bit-for-bit before its timing is trusted.
+void run_centrality_sweep() {
+  const std::vector<std::size_t> node_counts{100, 1000, 10000};
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+  std::ostringstream table;
+  table << "== fused centrality scaling (ms per full graph) ==\n";
+  table << "  nodes      edges        t=1        t=2        t=4        t=8"
+        << "    speedup(t=8)\n";
+
+  std::map<std::string, double> json_values;
+  bool all_deterministic = true;
+
+  for (std::size_t n : node_counts) {
+    const auto g = make_graph(n);
+    // Fewer repetitions on the big graphs; the per-run time dwarfs
+    // timer noise there.
+    const int reps = n >= 10000 ? 1 : (n >= 1000 ? 3 : 20);
+
+    graph::CentralityScores reference;
+    std::vector<double> cell_ms;
+    for (std::size_t threads : thread_counts) {
+      (void)graph::centrality_scores(g, threads);  // warm-up
+      double best_ms = 0.0;
+      graph::CentralityScores scores;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        scores = graph::centrality_scores(g, threads);
+        const auto elapsed = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start).count();
+        if (rep == 0 || elapsed < best_ms) best_ms = elapsed;
+      }
+      if (threads == 1) {
+        reference = scores;
+      } else if (scores.betweenness != reference.betweenness ||
+                 scores.closeness != reference.closeness) {
+        all_deterministic = false;
+        std::printf("DETERMINISM VIOLATION: n=%zu threads=%zu\n", n,
+                    threads);
+      }
+      cell_ms.push_back(best_ms);
+      json_values["centrality.n" + std::to_string(n) + ".t" +
+                  std::to_string(threads) + ".ms"] = best_ms;
+    }
+
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "  %6zu %10zu %10.3f %10.3f %10.3f %10.3f %10.2fx\n", n,
+                  g.edge_count(), cell_ms[0], cell_ms[1], cell_ms[2],
+                  cell_ms[3],
+                  cell_ms[3] > 0.0 ? cell_ms[0] / cell_ms[3] : 0.0);
+    table << row;
+  }
+  table << (all_deterministic
+                ? "  all thread counts bit-identical to t=1\n"
+                : "  DETERMINISM VIOLATIONS DETECTED (see above)\n");
+
+  const std::string report = table.str();
+  std::printf("\n%s", report.c_str());
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/perf_centrality.txt");
+  if (out) {
+    out << report;
+    std::printf(
+        "centrality sweep written to bench_results/perf_centrality.txt\n");
+  } else {
+    std::printf("bench_results/ not writable; sweep not persisted\n");
+  }
+  if (bench::update_perf_json("BENCH_perf.json", "perf_graph",
+                              json_values)) {
+    std::printf("centrality sweep recorded in BENCH_perf.json\n");
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_centrality_sweep();
+  return 0;
+}

@@ -19,8 +19,9 @@ std::vector<NodeRank> node_ranks(const Cfg& cfg) {
   const std::size_t n = g.node_count();
   std::vector<NodeRank> ranks(n);
   if (n == 0) return ranks;
+  const obs::Span span("cfg.label.ranks");
 
-  const auto cf = graph::centrality_factor(g);
+  const auto centrality = graph::centrality_scores(g);
   const auto levels = graph::node_levels(g, cfg.entry());
   const auto edge_count = static_cast<double>(g.edge_count());
   for (graph::NodeId v = 0; v < n; ++v) {
@@ -28,19 +29,18 @@ std::vector<NodeRank> node_ranks(const Cfg& cfg) {
         edge_count > 0.0
             ? static_cast<double>(g.total_degree(v)) / edge_count
             : 0.0;
-    ranks[v].centrality_factor = cf[v];
+    ranks[v].centrality_factor =
+        centrality.betweenness[v] + centrality.closeness[v];
     ranks[v].level = levels[v];
   }
   return ranks;
 }
 
-std::vector<Label> label_nodes(const Cfg& cfg, LabelingMethod method) {
-  const std::size_t n = cfg.node_count();
-  if (n == 0) throw std::invalid_argument("label_nodes: empty CFG");
-  const obs::Span span(method == LabelingMethod::kDensity ? "cfg.label.dbl"
-                                                          : "cfg.label.lbl");
+std::vector<Label> labels_from_ranks(const std::vector<NodeRank>& ranks,
+                                     LabelingMethod method) {
+  const std::size_t n = ranks.size();
+  if (n == 0) throw std::invalid_argument("labels_from_ranks: empty ranks");
 
-  const auto ranks = node_ranks(cfg);
   std::vector<graph::NodeId> order(n);
   std::iota(order.begin(), order.end(), graph::NodeId{0});
 
@@ -73,12 +73,42 @@ std::vector<Label> label_nodes(const Cfg& cfg, LabelingMethod method) {
   return labels;
 }
 
+std::vector<Label> label_nodes(const Cfg& cfg, LabelingMethod method) {
+  if (cfg.node_count() == 0)
+    throw std::invalid_argument("label_nodes: empty CFG");
+  const obs::Span span(method == LabelingMethod::kDensity ? "cfg.label.dbl"
+                                                          : "cfg.label.lbl");
+  return labels_from_ranks(node_ranks(cfg), method);
+}
+
+NodeLabelings label_both(const Cfg& cfg) {
+  if (cfg.node_count() == 0)
+    throw std::invalid_argument("label_both: empty CFG");
+  const auto ranks = node_ranks(cfg);
+  NodeLabelings labelings;
+  {
+    const obs::Span span("cfg.label.dbl");
+    labelings.dbl = labels_from_ranks(ranks, LabelingMethod::kDensity);
+  }
+  {
+    const obs::Span span("cfg.label.lbl");
+    labelings.lbl = labels_from_ranks(ranks, LabelingMethod::kLevel);
+  }
+  return labelings;
+}
+
 std::vector<graph::NodeId> nodes_by_label(const std::vector<Label>& labels) {
   std::vector<graph::NodeId> inverse(labels.size());
+  std::vector<bool> seen(labels.size(), false);
   for (graph::NodeId v = 0; v < labels.size(); ++v) {
     if (labels[v] >= labels.size()) {
       throw std::invalid_argument("nodes_by_label: label out of range");
     }
+    if (seen[labels[v]]) {
+      throw std::invalid_argument("nodes_by_label: duplicate label " +
+                                  std::to_string(labels[v]));
+    }
+    seen[labels[v]] = true;
     inverse[labels[v]] = v;
   }
   return inverse;

@@ -39,8 +39,17 @@ struct NodeRank {
   std::size_t level = 0;  ///< 1-based; kUnreachable if not reachable
 };
 
-/// Computes the ranking keys for every node of `cfg`.
+/// Computes the ranking keys for every node of `cfg` in one fused
+/// graph-analytics pass (betweenness + closeness from a single Brandes
+/// sweep, levels from one BFS).
 [[nodiscard]] std::vector<NodeRank> node_ranks(const Cfg& cfg);
+
+/// Orders nodes under `method` given precomputed ranking keys — the
+/// sort-only tail of label_nodes, so both labelings can share one
+/// node_ranks computation. Throws std::invalid_argument for empty
+/// `ranks`.
+[[nodiscard]] std::vector<Label> labels_from_ranks(
+    const std::vector<NodeRank>& ranks, LabelingMethod method);
 
 /// Labels all nodes under `method`. Returns labels indexed by node id:
 /// result[v] is node v's label. Throws std::invalid_argument for an
@@ -49,7 +58,21 @@ struct NodeRank {
 [[nodiscard]] std::vector<Label> label_nodes(const Cfg& cfg,
                                              LabelingMethod method);
 
+/// Both labelings of one CFG.
+struct NodeLabelings {
+  std::vector<Label> dbl;
+  std::vector<Label> lbl;
+};
+
+/// Labels all nodes under *both* schemes from one shared node_ranks
+/// computation — the graph analytics (centrality + levels) that
+/// dominate labeling cost run exactly once. Equivalent to calling
+/// label_nodes twice; throws std::invalid_argument for an empty CFG.
+[[nodiscard]] NodeLabelings label_both(const Cfg& cfg);
+
 /// Inverse view: node id holding each label (result[label] = node).
+/// Throws std::invalid_argument if any label is out of range or
+/// duplicated (a valid labeling is a permutation of [0, |V|-1]).
 [[nodiscard]] std::vector<graph::NodeId> nodes_by_label(
     const std::vector<Label>& labels);
 

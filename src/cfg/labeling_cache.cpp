@@ -1,0 +1,122 @@
+#include "cfg/labeling_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace soteria::cfg {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+LabelingCache::LabelingCache(std::size_t capacity)
+    : LabelingCache(capacity, &LabelingCache::content_hash) {}
+
+LabelingCache::LabelingCache(std::size_t capacity, Hasher hasher)
+    : capacity_(capacity), hasher_(std::move(hasher)) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("LabelingCache: zero capacity");
+  }
+  if (!hasher_) {
+    throw std::invalid_argument("LabelingCache: null hasher");
+  }
+}
+
+std::uint64_t LabelingCache::content_hash(const Cfg& cfg) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(cfg.entry()));
+  fnv_mix(h, static_cast<std::uint64_t>(cfg.node_count()));
+  for (const auto& [u, v] : cfg.graph().edges()) {
+    fnv_mix(h, static_cast<std::uint64_t>(u));
+    fnv_mix(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+LabelingCache::Key LabelingCache::make_key(const Cfg& cfg) {
+  Key key;
+  key.entry = cfg.entry();
+  key.nodes = cfg.node_count();
+  key.edges = cfg.graph().edges();
+  return key;
+}
+
+NodeLabelings LabelingCache::labels(const Cfg& cfg) {
+  if (cfg.node_count() == 0) {
+    throw std::invalid_argument("LabelingCache::labels: empty CFG");
+  }
+  const std::uint64_t hash = hasher_(cfg);
+  Key key = make_key(cfg);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto bucket = buckets_.find(hash); bucket != buckets_.end()) {
+      for (const auto& it : bucket->second) {
+        if (it->key == key) {
+          lru_.splice(lru_.begin(), lru_, it);
+          ++stats_.hits;
+          obs::registry().counter_add("soteria.cache.labeling.hits");
+          return it->labelings;
+        }
+      }
+    }
+    ++stats_.misses;
+    obs::registry().counter_add("soteria.cache.labeling.misses");
+  }
+
+  // Compute outside the lock: concurrent misses on distinct CFGs must
+  // not serialize on the expensive graph analytics.
+  NodeLabelings labelings = label_both(cfg);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Another thread may have inserted the same CFG while we computed;
+  // labeling is deterministic, so just return without duplicating.
+  if (const auto bucket = buckets_.find(hash); bucket != buckets_.end()) {
+    for (const auto& it : bucket->second) {
+      if (it->key == key) return labelings;
+    }
+  }
+  lru_.push_front(Entry{hash, std::move(key), labelings});
+  buckets_[hash].push_back(lru_.begin());
+  while (lru_.size() > capacity_) {
+    const auto victim = std::prev(lru_.end());
+    auto& bucket = buckets_[victim->hash];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
+    if (bucket.empty()) buckets_.erase(victim->hash);
+    lru_.erase(victim);
+    ++stats_.evictions;
+    obs::registry().counter_add("soteria.cache.labeling.evictions");
+  }
+  return labelings;
+}
+
+LabelingCache::Stats LabelingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t LabelingCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void LabelingCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  buckets_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace soteria::cfg

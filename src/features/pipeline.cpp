@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cfg/labeling_cache.h"
 #include "io/binary_io.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
@@ -67,18 +68,34 @@ std::vector<float> SampleFeatures::pooled_combined() const {
   return vec;
 }
 
-GramCounts FeaturePipeline::gram_counts(const cfg::Cfg& cfg,
-                                        cfg::LabelingMethod method,
-                                        math::Rng& rng) const {
-  const auto labels = cfg::label_nodes(cfg, method);
+cfg::NodeLabelings FeaturePipeline::labelings_for(
+    const cfg::Cfg& cfg) const {
+  if (labeling_cache_) return labeling_cache_->labels(cfg);
+  return cfg::label_both(cfg);
+}
+
+GramCounts FeaturePipeline::gram_counts_for_labels(
+    const cfg::Cfg& cfg, const std::vector<cfg::Label>& labels,
+    math::Rng& rng) const {
   const auto walks = labeled_walks(cfg, labels, config_.walk, rng);
   return count_grams(walks, config_.gram_sizes);
 }
 
-FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
-                                     const PipelineConfig& config,
-                                     math::Rng& rng,
-                                     std::size_t num_threads) {
+GramCounts FeaturePipeline::gram_counts(const cfg::Cfg& cfg,
+                                        cfg::LabelingMethod method,
+                                        math::Rng& rng) const {
+  const auto labelings = labelings_for(cfg);
+  return gram_counts_for_labels(cfg,
+                                method == cfg::LabelingMethod::kDensity
+                                    ? labelings.dbl
+                                    : labelings.lbl,
+                                rng);
+}
+
+FeaturePipeline FeaturePipeline::fit(
+    std::span<const cfg::Cfg> training, const PipelineConfig& config,
+    math::Rng& rng, std::size_t num_threads,
+    std::shared_ptr<cfg::LabelingCache> labeling_cache) {
   validate(config);
   if (training.empty()) {
     throw std::invalid_argument("FeaturePipeline::fit: empty corpus");
@@ -86,11 +103,14 @@ FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
   const obs::Span span("pipeline.fit");
   FeaturePipeline pipeline;
   pipeline.config_ = config;
+  pipeline.labeling_cache_ = std::move(labeling_cache);
 
   // Each sample's walks draw from children of `rng` keyed by sample
   // index (DBL on even streams, LBL on odd), so the per-sample local
   // gram maps are identical no matter which thread computes them; the
   // vocabulary builder then merges the local maps into corpus totals.
+  // Both labelings derive from one shared node_ranks computation (and
+  // populate the labeling cache for the extraction that follows).
   struct LabelingCounts {
     GramCounts dbl;
     GramCounts lbl;
@@ -99,11 +119,12 @@ FeaturePipeline FeaturePipeline::fit(std::span<const cfg::Cfg> training,
       num_threads, training.size(), [&](std::size_t i) {
         math::Rng dbl_rng = rng.child(2 * i);
         math::Rng lbl_rng = rng.child(2 * i + 1);
+        const auto labelings = pipeline.labelings_for(training[i]);
         LabelingCounts sample;
-        sample.dbl = pipeline.gram_counts(
-            training[i], cfg::LabelingMethod::kDensity, dbl_rng);
-        sample.lbl = pipeline.gram_counts(
-            training[i], cfg::LabelingMethod::kLevel, lbl_rng);
+        sample.dbl = pipeline.gram_counts_for_labels(
+            training[i], labelings.dbl, dbl_rng);
+        sample.lbl = pipeline.gram_counts_for_labels(
+            training[i], labelings.lbl, lbl_rng);
         return sample;
       });
 
@@ -127,11 +148,12 @@ SampleFeatures FeaturePipeline::extract(const cfg::Cfg& cfg,
                                         math::Rng& rng) const {
   const obs::Span span("pipeline.extract");
   SampleFeatures features;
-  const auto dbl_labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kDensity);
-  const auto lbl_labels = cfg::label_nodes(cfg, cfg::LabelingMethod::kLevel);
+  const auto labelings = labelings_for(cfg);
 
-  const auto dbl_walks = labeled_walks(cfg, dbl_labels, config_.walk, rng);
-  const auto lbl_walks = labeled_walks(cfg, lbl_labels, config_.walk, rng);
+  const auto dbl_walks =
+      labeled_walks(cfg, labelings.dbl, config_.walk, rng);
+  const auto lbl_walks =
+      labeled_walks(cfg, labelings.lbl, config_.walk, rng);
 
   // Staged so the gram-counting and vectorisation costs show up as
   // separate spans in the timing tree.

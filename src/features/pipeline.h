@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,10 @@
 #include "features/random_walk.h"
 #include "features/vocabulary.h"
 #include "math/rng.h"
+
+namespace soteria::cfg {
+class LabelingCache;
+}  // namespace soteria::cfg
 
 namespace soteria::features {
 
@@ -74,10 +79,14 @@ class FeaturePipeline {
   /// advanced), and with `num_threads` > 1 the per-sample gram maps are
   /// counted concurrently and merged at the end — results are
   /// bit-identical at any thread count (0 = all hardware threads).
-  /// Throws on empty corpus or bad config.
-  static FeaturePipeline fit(std::span<const cfg::Cfg> training,
-                             const PipelineConfig& config, math::Rng& rng,
-                             std::size_t num_threads = 1);
+  /// A non-null `labeling_cache` is installed on the returned pipeline
+  /// and already warmed by fitting, so the training extraction that
+  /// typically follows reuses the fit labelings. Throws on empty
+  /// corpus or bad config.
+  static FeaturePipeline fit(
+      std::span<const cfg::Cfg> training, const PipelineConfig& config,
+      math::Rng& rng, std::size_t num_threads = 1,
+      std::shared_ptr<cfg::LabelingCache> labeling_cache = nullptr);
 
   /// Extracts the full feature bundle for one CFG. Each call draws
   /// fresh walks from `rng` — this is Soteria's randomization property:
@@ -108,6 +117,20 @@ class FeaturePipeline {
                                        cfg::LabelingMethod method,
                                        math::Rng& rng) const;
 
+  /// Installs (nullptr: removes) a shared cache of DBL/LBL labelings
+  /// consulted by extract/fit/gram_counts. Purely a performance knob:
+  /// labeling is deterministic, so results are bit-identical with the
+  /// cache on or off. Not persisted by save() — like thread counts, it
+  /// describes the runtime, not the model.
+  void set_labeling_cache(
+      std::shared_ptr<cfg::LabelingCache> cache) noexcept {
+    labeling_cache_ = std::move(cache);
+  }
+  [[nodiscard]] const std::shared_ptr<cfg::LabelingCache>& labeling_cache()
+      const noexcept {
+    return labeling_cache_;
+  }
+
   /// Default-constructed unfitted pipeline (empty vocabularies); a
   /// placeholder until assigned from fit().
   FeaturePipeline() = default;
@@ -118,9 +141,19 @@ class FeaturePipeline {
   [[nodiscard]] static FeaturePipeline load(std::istream& in);
 
  private:
+  /// Both labelings of `cfg`, through the cache when one is installed.
+  [[nodiscard]] cfg::NodeLabelings labelings_for(const cfg::Cfg& cfg) const;
+
+  /// Walks over `labels` pooled into gram counts (the per-labeling
+  /// tail of gram_counts, with the labeling already derived).
+  [[nodiscard]] GramCounts gram_counts_for_labels(
+      const cfg::Cfg& cfg, const std::vector<cfg::Label>& labels,
+      math::Rng& rng) const;
+
   PipelineConfig config_;
   Vocabulary dbl_vocab_;
   Vocabulary lbl_vocab_;
+  std::shared_ptr<cfg::LabelingCache> labeling_cache_;
 };
 
 }  // namespace soteria::features

@@ -2,115 +2,203 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
-#include "graph/traversal.h"
+#include "runtime/thread_pool.h"
 
 namespace soteria::graph {
 
 namespace {
 
-// Undirected adjacency snapshot so each BFS avoids re-deduplicating.
-std::vector<std::vector<NodeId>> undirected_adjacency(const DiGraph& g) {
-  std::vector<std::vector<NodeId>> adj(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v)
-    adj[v] = g.undirected_neighbors(v);
-  return adj;
+// Sources are processed in fixed-size chunks regardless of thread
+// count; each chunk owns a partial betweenness accumulator and the
+// partials merge in chunk order, which keeps the parallel variant's
+// result independent of scheduling (see the header's determinism note).
+constexpr std::size_t kSourceChunk = 64;
+
+// CSR snapshot of the undirected view: one flat neighbor array plus
+// per-node offsets, with each row sorted and deduplicated exactly like
+// DiGraph::undirected_neighbors. One allocation pair instead of a
+// vector-of-vectors, and each BFS avoids re-deduplicating.
+struct UndirectedCsr {
+  std::vector<std::size_t> offsets;  // node_count + 1
+  std::vector<NodeId> neighbors;
+
+  explicit UndirectedCsr(const DiGraph& g) {
+    const std::size_t n = g.node_count();
+    offsets.assign(n + 1, 0);
+    neighbors.reserve(2 * g.edge_count());
+    std::vector<NodeId> row;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto succ = g.successors(v);
+      const auto pred = g.predecessors(v);
+      row.assign(succ.begin(), succ.end());
+      row.insert(row.end(), pred.begin(), pred.end());
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+      neighbors.insert(neighbors.end(), row.begin(), row.end());
+      offsets[v + 1] = neighbors.size();
+    }
+  }
+
+  [[nodiscard]] std::span<const NodeId> row(NodeId v) const noexcept {
+    return {neighbors.data() + offsets[v], offsets[v + 1] - offsets[v]};
+  }
+};
+
+// Flat per-source scratch, reused across sources (one instance per
+// worker in the parallel variant). `order` doubles as the BFS FIFO: a
+// head cursor walks it while discovery appends, so dequeue order equals
+// append order and no separate queue is needed.
+struct FusedScratch {
+  std::vector<double> sigma;       // # shortest paths from the source
+  std::vector<double> delta;       // continuation counts (integers)
+  std::vector<std::int64_t> dist;  // BFS distance, -1 = unseen
+  std::vector<NodeId> order;       // nodes in non-decreasing distance
+
+  explicit FusedScratch(std::size_t n)
+      : sigma(n), delta(n), dist(n) {
+    order.reserve(n);
+  }
+};
+
+// One fused sweep from source `s`: BFS over the CSR fills sigma / dist /
+// order; the distances directly yield s's closeness; the reverse sweep
+// accumulates Brandes dependencies into `betweenness` and the pair-path
+// normalizer into `total_pair_paths`. Predecessors of w are the CSR
+// neighbors u with dist[u] + 1 == dist[w] — no predecessor lists.
+void fused_source_sweep(const UndirectedCsr& csr, std::size_t n, NodeId s,
+                        FusedScratch& scratch,
+                        std::vector<double>& betweenness,
+                        double& total_pair_paths, double& closeness_out) {
+  auto& sigma = scratch.sigma;
+  auto& delta = scratch.delta;
+  auto& dist = scratch.dist;
+  auto& order = scratch.order;
+  std::fill(sigma.begin(), sigma.end(), 0.0);
+  std::fill(delta.begin(), delta.end(), 0.0);
+  std::fill(dist.begin(), dist.end(), -1);
+  order.clear();
+
+  sigma[s] = 1.0;
+  dist[s] = 0;
+  order.push_back(s);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const NodeId u = order[head];
+    for (NodeId w : csr.row(u)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[u] + 1;
+        order.push_back(w);
+      }
+      if (dist[w] == dist[u] + 1) sigma[w] += sigma[u];
+    }
+  }
+
+  // Closeness falls out of the BFS distances Brandes just computed;
+  // accumulate in node-id order (the naive reference's order).
+  double distance_sum = 0.0;
+  std::size_t reachable = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[v] > 0) {
+      distance_sum += static_cast<double>(dist[v]);
+      ++reachable;
+    }
+  }
+  closeness_out = distance_sum > 0.0
+                      ? static_cast<double>(reachable) / distance_sum
+                      : 0.0;
+
+  for (NodeId t : order) {
+    if (t != s) total_pair_paths += sigma[t];
+  }
+
+  // delta[v] accumulates c(v) = number of shortest-path continuations
+  // from v to any strictly-downstream target in the BFS DAG; the number
+  // of shortest s-t paths through v (summed over t) is sigma[v] * c(v).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId w = *it;
+    const double contribution = 1.0 + delta[w];
+    for (NodeId u : csr.row(w)) {
+      if (dist[u] + 1 == dist[w]) delta[u] += contribution;
+    }
+    if (w != s) betweenness[w] += delta[w] * sigma[w];
+  }
 }
 
 }  // namespace
 
-std::vector<double> betweenness_centrality(const DiGraph& g) {
+CentralityScores centrality_scores(const DiGraph& g,
+                                   std::size_t num_threads) {
   const std::size_t n = g.node_count();
-  std::vector<double> betweenness(n, 0.0);
-  if (n < 3) return betweenness;
-  const auto adj = undirected_adjacency(g);
+  CentralityScores scores{std::vector<double>(n, 0.0),
+                          std::vector<double>(n, 0.0)};
+  if (n < 2) return scores;
 
-  // Brandes' accumulation (unweighted). Raw dependency scores first.
-  std::vector<double> sigma(n);       // # shortest paths from s
-  std::vector<double> delta(n);       // dependency of s on v
-  std::vector<std::int64_t> dist(n);  // BFS distance, -1 = unseen
-  std::vector<std::vector<NodeId>> preds(n);
-  std::vector<NodeId> order;  // nodes in non-decreasing distance
-  order.reserve(n);
+  const UndirectedCsr csr(g);
+  const std::size_t threads = runtime::resolve_threads(num_threads);
+  double total_pair_paths = 0.0;  // Delta(m): total shortest paths
+                                  // between distinct unordered pairs
 
-  double total_pair_paths = 0.0;  // Delta(m): total shortest paths between
-                                  // distinct unordered pairs
-
-  for (NodeId s = 0; s < n; ++s) {
-    std::fill(sigma.begin(), sigma.end(), 0.0);
-    std::fill(delta.begin(), delta.end(), 0.0);
-    std::fill(dist.begin(), dist.end(), -1);
-    for (auto& p : preds) p.clear();
-    order.clear();
-
-    sigma[s] = 1.0;
-    dist[s] = 0;
-    std::deque<NodeId> queue{s};
-    while (!queue.empty()) {
-      const NodeId u = queue.front();
-      queue.pop_front();
-      order.push_back(u);
-      for (NodeId w : adj[u]) {
-        if (dist[w] < 0) {
-          dist[w] = dist[u] + 1;
-          queue.push_back(w);
-        }
-        if (dist[w] == dist[u] + 1) {
-          sigma[w] += sigma[u];
-          preds[w].push_back(u);
-        }
-      }
+  if (threads == 1 || n <= kSourceChunk) {
+    FusedScratch scratch(n);
+    for (NodeId s = 0; s < n; ++s) {
+      fused_source_sweep(csr, n, s, scratch, scores.betweenness,
+                         total_pair_paths, scores.closeness[s]);
     }
-
-    for (NodeId t : order) {
-      if (t != s) total_pair_paths += sigma[t];
-    }
-
-    // delta[v] accumulates c(v) = number of shortest-path continuations
-    // from v to any strictly-downstream target in the BFS DAG; the number
-    // of shortest s-t paths through v (summed over t) is sigma[v] * c(v).
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      const NodeId w = *it;
-      for (NodeId u : preds[w]) {
-        delta[u] += 1.0 + delta[w];
+  } else {
+    // Parallel over fixed-size source chunks. Closeness entries are
+    // per-source (disjoint writes); betweenness and the pair-path
+    // total accumulate into per-chunk partials merged in chunk order
+    // below. All accumulators are integer-valued until the final
+    // divisions, so this matches the serial sweep bit-for-bit.
+    struct ChunkPartial {
+      std::vector<double> betweenness;
+      double pair_paths = 0.0;
+    };
+    const std::size_t chunks = (n + kSourceChunk - 1) / kSourceChunk;
+    auto partials = runtime::parallel_map(
+        threads, chunks, [&](std::size_t c) {
+          ChunkPartial partial;
+          partial.betweenness.assign(n, 0.0);
+          FusedScratch scratch(n);
+          const NodeId begin = c * kSourceChunk;
+          const NodeId end = std::min(n, begin + kSourceChunk);
+          for (NodeId s = begin; s < end; ++s) {
+            fused_source_sweep(csr, n, s, scratch, partial.betweenness,
+                               partial.pair_paths, scores.closeness[s]);
+          }
+          return partial;
+        });
+    for (const auto& partial : partials) {
+      for (std::size_t v = 0; v < n; ++v) {
+        scores.betweenness[v] += partial.betweenness[v];
       }
-      if (w != s) betweenness[w] += delta[w] * sigma[w];
+      total_pair_paths += partial.pair_paths;
     }
   }
 
   // Each unordered pair was visited from both endpoints; halve both the
   // accumulated path counts and the normalizer, which cancels.
   if (total_pair_paths > 0.0) {
-    for (double& b : betweenness) b /= total_pair_paths;
+    for (double& b : scores.betweenness) b /= total_pair_paths;
   }
-  return betweenness;
+  return scores;
+}
+
+std::vector<double> betweenness_centrality(const DiGraph& g) {
+  return std::move(centrality_scores(g).betweenness);
 }
 
 std::vector<double> closeness_centrality(const DiGraph& g) {
-  const std::size_t n = g.node_count();
-  std::vector<double> closeness(n, 0.0);
-  if (n < 2) return closeness;
-  for (NodeId v = 0; v < n; ++v) {
-    const auto dist = undirected_bfs_distances(g, v);
-    double sum = 0.0;
-    std::size_t reachable = 0;
-    for (std::size_t d : dist) {
-      if (d != kUnreachable && d > 0) {
-        sum += static_cast<double>(d);
-        ++reachable;
-      }
-    }
-    if (sum > 0.0) closeness[v] = static_cast<double>(reachable) / sum;
-  }
-  return closeness;
+  return std::move(centrality_scores(g).closeness);
 }
 
-std::vector<double> centrality_factor(const DiGraph& g) {
-  auto cf = betweenness_centrality(g);
-  const auto close = closeness_centrality(g);
-  for (std::size_t i = 0; i < cf.size(); ++i) cf[i] += close[i];
+std::vector<double> centrality_factor(const DiGraph& g,
+                                      std::size_t num_threads) {
+  auto scores = centrality_scores(g, num_threads);
+  auto cf = std::move(scores.betweenness);
+  for (std::size_t i = 0; i < cf.size(); ++i) cf[i] += scores.closeness[i];
   return cf;
 }
 

@@ -1,17 +1,51 @@
-// Betweenness and closeness centrality (Brandes' algorithm + BFS).
+// Betweenness and closeness centrality, fused into one Brandes pass.
 //
 // Soteria's labeling breaks density ties with the *centrality factor*
 // CF(v) = betweenness(v) + closeness(v) (paper, Section III-B.1). We
 // compute both over the undirected view of the CFG: a CFG is weakly
 // connected from its entry, so the undirected view gives every node a
 // finite closeness and makes the tie-break total.
+//
+// Implementation: the graph is snapshotted once into a CSR (flat
+// offsets + neighbor array) of the undirected view, and a single
+// Brandes sweep per source yields *both* metrics — the BFS distances
+// Brandes already computes are exactly what closeness needs, so the
+// second all-sources sweep of the naive formulation disappears. All
+// per-source scratch (sigma, dependency, distance, visit order) lives
+// in flat reusable buffers; there are no per-node predecessor lists
+// (predecessors are recovered from the CSR row by the distance
+// condition during the reverse sweep).
+//
+// Determinism: every accumulator (path counts, dependency counts, pair
+// totals) holds nonnegative integers exactly representable in doubles
+// until the two final normalizing divisions, so the parallel
+// over-sources variant — fixed-size source chunks with per-chunk
+// partial accumulators merged in chunk order — produces bit-identical
+// results at any thread count, and identical to the serial sweep. The
+// naive two-sweep reference lives on as `tests/graph/naive_centrality.h`
+// with a property test pinning exact agreement.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "graph/digraph.h"
 
 namespace soteria::graph {
+
+/// Both centrality vectors from one fused pass.
+struct CentralityScores {
+  std::vector<double> betweenness;
+  std::vector<double> closeness;
+};
+
+/// Fused single-pass computation of betweenness and closeness over the
+/// undirected view. `num_threads` follows the runtime convention
+/// (0 = all hardware threads, 1 = serial); sources are processed in
+/// fixed-size chunks whose partial sums merge in chunk order, so the
+/// result is bit-identical at any thread count.
+[[nodiscard]] CentralityScores centrality_scores(const DiGraph& g,
+                                                 std::size_t num_threads = 1);
 
 /// Normalized betweenness centrality over the undirected view:
 /// B(v) = (# shortest paths through v) / (total # shortest paths between
@@ -20,13 +54,14 @@ namespace soteria::graph {
 [[nodiscard]] std::vector<double> betweenness_centrality(const DiGraph& g);
 
 /// Closeness centrality over the undirected view:
-/// C(v) = (reachable_count - 1) / sum of distances to reachable nodes,
+/// C(v) = (reachable_count) / (sum of distances to reachable nodes),
 /// 0 for isolated nodes. Higher = more central (the reciprocal of the
 /// paper's "average shortest path" phrasing, oriented so that larger CF
 /// means more central, as the paper's labeling examples require).
 [[nodiscard]] std::vector<double> closeness_centrality(const DiGraph& g);
 
-/// CF(v) = betweenness(v) + closeness(v).
-[[nodiscard]] std::vector<double> centrality_factor(const DiGraph& g);
+/// CF(v) = betweenness(v) + closeness(v), from one fused pass.
+[[nodiscard]] std::vector<double> centrality_factor(
+    const DiGraph& g, std::size_t num_threads = 1);
 
 }  // namespace soteria::graph

@@ -30,8 +30,9 @@ GraphProperties graph_properties(const DiGraph& g) {
     p.degree_stddev = math::stddev(degrees);
   }
 
-  const auto betweenness = betweenness_centrality(g);
-  const auto closeness = closeness_centrality(g);
+  const auto centrality = centrality_scores(g);
+  const auto& betweenness = centrality.betweenness;
+  const auto& closeness = centrality.closeness;
   if (!betweenness.empty()) {
     p.mean_betweenness = math::mean(betweenness);
     p.max_betweenness =

@@ -62,6 +62,15 @@ struct SoteriaConfig {
   /// it describes the machine, not the model.
   std::size_t num_threads = 0;
 
+  /// Capacity (entries) of the shared DBL/LBL labeling cache installed
+  /// on the feature pipeline; 0 disables caching. Labeling is a pure
+  /// function of CFG content, so the cache only removes re-derivation
+  /// (fit -> extract -> calibrate relabel the same training CFGs) —
+  /// results are bit-identical with the cache on or off. Like
+  /// num_threads, not persisted by save(). Memory per entry is
+  /// O(nodes + edges) of the cached CFG.
+  std::size_t labeling_cache_capacity = 512;
+
   /// Enable the process-wide observability registry (obs/metrics.h)
   /// before training starts: stage timings, counters, and value
   /// distributions accumulate for later export. Off by default; when

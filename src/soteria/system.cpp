@@ -1,8 +1,10 @@
 #include "soteria/system.h"
 
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 
+#include "cfg/labeling_cache.h"
 #include "io/binary_io.h"
 #include "obs/trace.h"
 
@@ -45,12 +47,20 @@ SoteriaSystem SoteriaSystem::train(
   const std::size_t threads = runtime::resolve_threads(config.num_threads);
 
   // 1. Fit the feature pipeline (vocabularies) on the training CFGs.
+  //    The shared labeling cache (when enabled) is warmed here and
+  //    reused by the extraction and calibration phases below — the
+  //    same training CFGs would otherwise be relabeled three times.
+  std::shared_ptr<cfg::LabelingCache> labeling_cache;
+  if (config.labeling_cache_capacity > 0) {
+    labeling_cache =
+        std::make_shared<cfg::LabelingCache>(config.labeling_cache_capacity);
+  }
   std::vector<cfg::Cfg> train_cfgs;
   train_cfgs.reserve(training.size());
   for (const auto& s : training) train_cfgs.push_back(s.cfg);
   math::Rng fit_rng = rng.fork(1);
   system.pipeline_ = features::FeaturePipeline::fit(
-      train_cfgs, config.pipeline, fit_rng, threads);
+      train_cfgs, config.pipeline, fit_rng, threads, labeling_cache);
 
   // 2. Extract training features once; assemble the detector's pooled
   //    matrix and the classifiers' per-walk datasets. The last
@@ -210,6 +220,13 @@ SoteriaSystem SoteriaSystem::load(std::istream& in) {
   system.config_.seed = io::read_scalar<std::uint64_t>(in);
   system.pipeline_ = features::FeaturePipeline::load(in);
   system.config_.pipeline = system.pipeline_.config();
+  // Runtime-only state is not persisted; re-create the labeling cache
+  // at the default capacity so batch analysis on a loaded model keeps
+  // the cross-call memoization.
+  if (system.config_.labeling_cache_capacity > 0) {
+    system.pipeline_.set_labeling_cache(std::make_shared<cfg::LabelingCache>(
+        system.config_.labeling_cache_capacity));
+  }
   system.detector_ = AeDetector::load(in);
   system.classifier_ = FamilyClassifier::load(in);
   return system;

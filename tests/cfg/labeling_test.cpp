@@ -172,5 +172,33 @@ TEST(Labeling, NodesByLabelValidatesRange) {
   EXPECT_THROW((void)nodes_by_label(bogus), std::invalid_argument);
 }
 
+// Regression: duplicate labels used to be silently accepted — the later
+// node overwrote the earlier one's slot, leaving a stale NodeId at the
+// label the earlier node should have held.
+TEST(Labeling, NodesByLabelRejectsDuplicates) {
+  EXPECT_THROW((void)nodes_by_label({0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)nodes_by_label({2, 2, 2}), std::invalid_argument);
+  // A valid permutation still inverts.
+  const auto inverse = nodes_by_label({2, 0, 1});
+  EXPECT_EQ(inverse, (std::vector<graph::NodeId>{1, 2, 0}));
+}
+
+// label_both must agree with the per-method entry points exactly — it
+// is the same computation over one shared node_ranks pass.
+TEST(Labeling, LabelBothMatchesPerMethodLabeling) {
+  math::Rng rng(11);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Cfg cfg(graph::random_connected_dag_plus(30 + 10 * trial, 0.1, rng),
+                  0);
+    const auto both = label_both(cfg);
+    EXPECT_EQ(both.dbl, label_nodes(cfg, LabelingMethod::kDensity));
+    EXPECT_EQ(both.lbl, label_nodes(cfg, LabelingMethod::kLevel));
+  }
+}
+
+TEST(Labeling, LabelBothThrowsOnEmptyCfg) {
+  EXPECT_THROW((void)label_both(Cfg{}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace soteria::cfg

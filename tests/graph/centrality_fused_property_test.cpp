@@ -1,0 +1,139 @@
+// Property tests pinning the fused single-pass centrality
+// (src/graph/centrality.cpp) to the preserved naive two-sweep
+// reference (naive_centrality.h). Agreement is asserted with
+// EXPECT_EQ on doubles — both formulations accumulate only integers
+// until the final divisions, so they must match exactly, and so must
+// every thread count of the parallel variant.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/centrality.h"
+#include "graph/generators.h"
+#include "math/rng.h"
+#include "naive_centrality.h"
+
+namespace soteria::graph {
+namespace {
+
+void expect_exact_match(const DiGraph& g) {
+  const auto fused = centrality_scores(g);
+  const auto naive_b = naive::betweenness_centrality(g);
+  const auto naive_c = naive::closeness_centrality(g);
+  ASSERT_EQ(fused.betweenness.size(), g.node_count());
+  ASSERT_EQ(fused.closeness.size(), g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    // Exact, not near: see header comment.
+    EXPECT_EQ(fused.betweenness[v], naive_b[v]) << "node " << v;
+    EXPECT_EQ(fused.closeness[v], naive_c[v]) << "node " << v;
+  }
+  // The public wrappers and the factor go through the same fused pass.
+  EXPECT_EQ(betweenness_centrality(g), naive_b);
+  EXPECT_EQ(closeness_centrality(g), naive_c);
+  EXPECT_EQ(centrality_factor(g), naive::centrality_factor(g));
+}
+
+void expect_thread_invariance(const DiGraph& g) {
+  const auto serial = centrality_scores(g, 1);
+  for (std::size_t threads : {2, 4, 8}) {
+    const auto parallel = centrality_scores(g, threads);
+    EXPECT_EQ(parallel.betweenness, serial.betweenness)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.closeness, serial.closeness)
+        << "threads=" << threads;
+  }
+}
+
+TEST(FusedCentralityProperty, RandomConnectedDigraphs) {
+  math::Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 62));
+    const double p = rng.uniform(0.02, 0.22);
+    const auto g = random_connected_dag_plus(n, p, rng);
+    expect_exact_match(g);
+  }
+}
+
+TEST(FusedCentralityProperty, ChainsTreesAndCliques) {
+  math::Rng rng(77);
+  expect_exact_match(chain_graph(17, 3, rng));
+  expect_exact_match(binary_tree(5));
+  expect_exact_match(complete_digraph(9));
+}
+
+TEST(FusedCentralityProperty, DisconnectedComponents) {
+  // Two components of different diameters plus an isolated node: the
+  // per-source BFS only reaches its own component, so closeness and
+  // the pair-path normalizer see partial reachability.
+  DiGraph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);  // component {0,1,2,3}: a path
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(4, 6);  // component {4,5,6}: a triangle
+  // node 7 isolated
+  expect_exact_match(g);
+  expect_thread_invariance(g);
+}
+
+TEST(FusedCentralityProperty, SelfLoops) {
+  // Self loops are ignored by the undirected view (a node is not its
+  // own neighbor) — both formulations must agree on that.
+  DiGraph g(5);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 3);
+  g.add_edge(3, 4);
+  expect_exact_match(g);
+}
+
+TEST(FusedCentralityProperty, ParallelEdgesCollapse) {
+  // Duplicate and anti-parallel edges collapse to one undirected edge.
+  DiGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  expect_exact_match(g);
+}
+
+TEST(FusedCentralityProperty, DegenerateSizes) {
+  expect_exact_match(DiGraph(0));
+  expect_exact_match(DiGraph(1));
+  DiGraph lonely(1);
+  lonely.add_edge(0, 0);
+  expect_exact_match(lonely);
+  DiGraph pair(2);
+  pair.add_edge(0, 1);
+  expect_exact_match(pair);  // n == 2: betweenness all zero by definition
+  expect_exact_match(DiGraph(3));  // edgeless
+}
+
+TEST(FusedCentralityProperty, ThreadCountInvariance) {
+  math::Rng rng(4321);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Large enough that the parallel path actually engages (the
+    // implementation falls back to serial below one source chunk).
+    const auto n = static_cast<std::size_t>(rng.uniform_int(80, 200));
+    const auto g = random_connected_dag_plus(n, 0.05, rng);
+    expect_thread_invariance(g);
+  }
+}
+
+TEST(FusedCentralityProperty, ParallelMatchesNaiveOnLargeGraph) {
+  math::Rng rng(99);
+  const auto g = random_connected_dag_plus(150, 0.04, rng);
+  const auto fused = centrality_scores(g, 4);
+  EXPECT_EQ(fused.betweenness, naive::betweenness_centrality(g));
+  EXPECT_EQ(fused.closeness, naive::closeness_centrality(g));
+}
+
+}  // namespace
+}  // namespace soteria::graph

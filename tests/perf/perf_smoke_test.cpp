@@ -1,0 +1,73 @@
+// Fast smoke coverage for the performance-critical fast paths: the
+// fused parallel centrality and the cached extraction pipeline run on
+// a fixed workload with shape/consistency assertions only — no timing
+// assertions, so the suite is stable in CI and meaningful under TSan
+// (it carries the `perf` ctest label, which the sanitizer invocation
+// includes).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "cfg/labeling_cache.h"
+#include "features/pipeline.h"
+#include "graph/centrality.h"
+#include "graph/generators.h"
+#include "math/rng.h"
+
+namespace soteria {
+namespace {
+
+TEST(PerfSmoke, ParallelCentralityOnRepresentativeGraph) {
+  math::Rng rng(2024);
+  const auto g = graph::random_connected_dag_plus(400, 0.02, rng);
+  const auto serial = graph::centrality_scores(g, 1);
+  ASSERT_EQ(serial.betweenness.size(), g.node_count());
+  ASSERT_EQ(serial.closeness.size(), g.node_count());
+
+  for (std::size_t threads : {2U, 4U, 8U}) {
+    const auto scores = graph::centrality_scores(g, threads);
+    EXPECT_EQ(scores.betweenness, serial.betweenness)
+        << threads << " threads";
+    EXPECT_EQ(scores.closeness, serial.closeness) << threads << " threads";
+  }
+}
+
+TEST(PerfSmoke, CachedExtractionWorkload) {
+  // A miniature of the training flow: fit on a small corpus with a
+  // shared cache, then extract every sample twice — the second sweep
+  // must be all cache hits and produce identically-shaped bundles.
+  math::Rng corpus_rng(7);
+  std::vector<cfg::Cfg> corpus;
+  for (int i = 0; i < 12; ++i) {
+    corpus.emplace_back(
+        graph::random_connected_dag_plus(30, 0.08, corpus_rng), 0);
+  }
+
+  features::PipelineConfig config;
+  config.top_k = 50;
+  auto cache = std::make_shared<cfg::LabelingCache>(64);
+  math::Rng fit_rng(11);
+  const auto pipeline =
+      features::FeaturePipeline::fit(corpus, config, fit_rng, 4, cache);
+  EXPECT_EQ(cache->stats().misses, corpus.size());
+
+  const auto dim = pipeline.combined_dimension();
+  ASSERT_GT(dim, 0U);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      math::Rng rng(100 + i);
+      const auto features = pipeline.extract(corpus[i], rng);
+      ASSERT_EQ(features.dbl.size(), config.walk.walks_per_labeling);
+      ASSERT_EQ(features.lbl.size(), config.walk.walks_per_labeling);
+      EXPECT_EQ(features.pooled_combined().size(), dim);
+    }
+  }
+  // fit missed once per sample; everything since has been a hit.
+  EXPECT_EQ(cache->stats().misses, corpus.size());
+  EXPECT_EQ(cache->stats().hits, 2 * corpus.size());
+  EXPECT_EQ(cache->stats().evictions, 0U);
+}
+
+}  // namespace
+}  // namespace soteria
