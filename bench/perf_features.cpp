@@ -158,7 +158,7 @@ void emit_stage_breakdown() {
   cfgs.reserve(data.test.size());
   for (const auto& sample : data.test) cfgs.push_back(sample.cfg);
   const math::Rng analyze_rng(7);
-  (void)system.analyze_batch(cfgs, analyze_rng);
+  (void)system.analyze_batch(cfgs, analyze_rng, core::AnalyzeOptions{});
 
   obs::set_enabled(false);
   const auto snapshot = obs::registry().snapshot();

@@ -1,0 +1,166 @@
+// perf_serve — throughput / latency sweep of the async AnalysisService
+// across worker counts and queue depths. For each (threads, depth)
+// combination the full tiny test corpus is submitted several times
+// through the bounded queue (yield-retry on backpressure, exactly what
+// a well-behaved client does) and we report:
+//
+//   * throughput_rps       — completed requests per wall-clock second
+//   * request_mean_ms      — mean inference latency (t/serve.request)
+//   * queue_wait_mean_ms   — mean time a request sat queued
+//
+// Results go to stdout, bench_results/perf_serve.txt, and the
+// "perf_serve" section of the repo-root BENCH_perf.json (read-merge-
+// write, other sections preserved). Scale/seed follow the other
+// benches' SOTERIA_SCALE / SOTERIA_SEED env vars.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/perf_json.h"
+#include "dataset/generator.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
+
+namespace soteria {
+namespace {
+
+struct ComboResult {
+  std::size_t threads = 0;
+  std::size_t depth = 0;
+  std::size_t requests = 0;
+  double throughput_rps = 0.0;
+  double request_mean_ms = 0.0;
+  double queue_wait_mean_ms = 0.0;
+};
+
+ComboResult run_combo(
+    const std::shared_ptr<const core::SoteriaSystem>& model,
+    const std::vector<cfg::Cfg>& cfgs, std::size_t threads,
+    std::size_t depth, std::size_t repetitions) {
+  obs::registry().reset();
+  obs::set_enabled(true);
+
+  serve::ServiceConfig config;
+  config.queue_depth = depth;
+  config.num_threads = threads;
+  config.seed = 17;
+  serve::AnalysisService service(model, config);
+
+  std::vector<std::future<core::Verdict>> verdicts;
+  verdicts.reserve(cfgs.size() * repetitions);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    for (const auto& cfg : cfgs) {
+      for (;;) {
+        auto ticket = service.submit(cfg);
+        if (ticket.accepted()) {
+          verdicts.push_back(std::move(ticket.verdict));
+          break;
+        }
+        // Backpressure: the queue is at capacity; yield until a worker
+        // frees a slot.
+        std::this_thread::yield();
+      }
+    }
+  }
+  for (auto& verdict : verdicts) (void)verdict.get();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  service.shutdown(serve::ShutdownPolicy::kDrain);
+
+  const auto snapshot = obs::registry().snapshot();
+  obs::set_enabled(false);
+
+  ComboResult result;
+  result.threads = threads;
+  result.depth = depth;
+  result.requests = verdicts.size();
+  result.throughput_rps =
+      static_cast<double>(verdicts.size()) / elapsed.count();
+  if (const auto it = snapshot.histograms.find("t/serve.request");
+      it != snapshot.histograms.end()) {
+    result.request_mean_ms = it->second.mean();  // span timings are ms
+  }
+  if (const auto it = snapshot.histograms.find("serve.queue.wait");
+      it != snapshot.histograms.end()) {
+    result.queue_wait_mean_ms = it->second.mean() * 1000.0;  // seconds
+  }
+  return result;
+}
+
+int run() {
+  const char* scale_env = std::getenv("SOTERIA_SCALE");
+  const char* seed_env = std::getenv("SOTERIA_SEED");
+  const double scale = scale_env ? std::strtod(scale_env, nullptr) : 0.008;
+  const std::uint64_t seed =
+      seed_env ? std::strtoull(seed_env, nullptr, 10) : 42;
+
+  dataset::DatasetConfig data_config;
+  data_config.scale = scale;
+  math::Rng rng(seed);
+  const auto data = dataset::generate_dataset(data_config, rng);
+  const auto config = core::tiny_config();
+  auto model = std::make_shared<const core::SoteriaSystem>(
+      core::SoteriaSystem::train(data.train, config));
+
+  std::vector<cfg::Cfg> cfgs;
+  cfgs.reserve(data.test.size());
+  for (const auto& sample : data.test) cfgs.push_back(sample.cfg);
+  std::printf("perf_serve: %zu test cfgs, scale %.3f, seed %llu\n",
+              cfgs.size(), scale,
+              static_cast<unsigned long long>(seed));
+
+  std::string report =
+      "threads  depth  requests  throughput_rps  request_mean_ms  "
+      "queue_wait_mean_ms\n";
+  std::map<std::string, double> json_values;
+  for (const std::size_t threads : {1U, 2U, 4U}) {
+    for (const std::size_t depth : {8U, 64U, 256U}) {
+      const auto result = run_combo(model, cfgs, threads, depth, 3);
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "%7zu  %5zu  %8zu  %14.1f  %15.3f  %18.3f\n",
+                    result.threads, result.depth, result.requests,
+                    result.throughput_rps, result.request_mean_ms,
+                    result.queue_wait_mean_ms);
+      report += line;
+      std::printf("%s", line);
+
+      char key_buffer[48];
+      std::snprintf(key_buffer, sizeof(key_buffer), "t%zu_q%zu_", threads,
+                    depth);
+      const std::string key(key_buffer);
+      json_values[key + "throughput_rps"] = result.throughput_rps;
+      json_values[key + "request_mean_ms"] = result.request_mean_ms;
+      json_values[key + "queue_wait_mean_ms"] = result.queue_wait_mean_ms;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/perf_serve.txt");
+  if (out) {
+    out << report;
+    std::printf("sweep written to bench_results/perf_serve.txt\n");
+  }
+  if (bench::update_perf_json("BENCH_perf.json", "perf_serve",
+                              json_values)) {
+    std::printf("sweep recorded in BENCH_perf.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soteria
+
+int main() { return soteria::run(); }

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   core::SoteriaConfig config = core::tiny_config();
   config.seed = 123;
   std::printf("training on %zu samples...\n", data.train.size());
-  core::SoteriaSystem system = core::SoteriaSystem::train(data.train, config);
+  const core::SoteriaSystem system =
+      core::SoteriaSystem::train(data.train, config);
 
   system.save_file(path);
   std::printf("saved trained system to %s\n", path);

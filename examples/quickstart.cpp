@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   core::SoteriaConfig config = core::tiny_config();
   config.seed = seed;
   std::printf("training Soteria (tiny preset)...\n");
-  core::SoteriaSystem system = core::SoteriaSystem::train(data.train, config);
+  const core::SoteriaSystem system =
+      core::SoteriaSystem::train(data.train, config);
   std::printf("detector threshold: %.4f (mean %.4f + %.1f * stddev %.4f)\n",
               system.detector().threshold(),
               system.detector().training_mean(),

@@ -9,6 +9,15 @@
 //   soteria_cli attack <model-path> [seed]
 //       Load a model, mount binary-level GEA attacks, verify the AEs
 //       execute (VM), and report how many the detector catches.
+//   soteria_cli corpus <dir> [scale] [seed]
+//       Write a fresh test corpus as raw firmware binaries into <dir>
+//       and print one path per line (pipe into `serve`).
+//   soteria_cli serve <model-path> [--queue-depth N] [--threads T]
+//                     [--seed S] [--swap-model <path>]
+//       Run the async analysis service: read firmware binary paths from
+//       stdin (one per line), stream one JSON verdict per line to
+//       stdout in submission order. The control line `!swap <path>`
+//       hot-swaps the model, as does SIGHUP when --swap-model is given.
 //
 // Any command accepts --metrics (human-readable per-stage breakdown on
 // stdout after the run) and/or --metrics-json (same data as one JSON
@@ -16,6 +25,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "attack/binary_gea.h"
 #include "cfg/extractor.h"
@@ -25,8 +37,19 @@
 #include "isa/vm.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "soteria/error.h"
 #include "soteria/presets.h"
 #include "soteria/system.h"
+
+#ifdef SOTERIA_HAVE_SERVE
+#include <chrono>
+#include <csignal>
+#include <deque>
+#include <iostream>
+#include <utility>
+
+#include "serve/service.h"
+#endif
 
 namespace {
 
@@ -37,6 +60,11 @@ int usage() {
                "usage: soteria_cli train   <model-path> [scale] [seed]\n"
                "       soteria_cli analyze <model-path> [seed]\n"
                "       soteria_cli attack  <model-path> [seed]\n"
+               "       soteria_cli corpus  <dir> [scale] [seed]\n"
+#ifdef SOTERIA_HAVE_SERVE
+               "       soteria_cli serve   <model-path> [--queue-depth N]"
+               " [--threads T] [--seed S] [--swap-model <path>]\n"
+#endif
                "options: --metrics        print per-stage metrics report\n"
                "         --metrics-json   print metrics as JSON\n");
   return 2;
@@ -56,7 +84,7 @@ int cmd_train(const char* path, double scale, std::uint64_t seed) {
   core::SoteriaConfig config = core::cpu_scaled_config();
   config.seed = seed;
   std::printf("training...\n");
-  auto system = core::SoteriaSystem::train(data.train, config);
+  const auto system = core::SoteriaSystem::train(data.train, config);
   system.save_file(path);
   std::printf("model saved to %s (threshold %.4f)\n", path,
               system.detector().threshold());
@@ -64,7 +92,7 @@ int cmd_train(const char* path, double scale, std::uint64_t seed) {
 }
 
 int cmd_analyze(const char* path, std::uint64_t seed) {
-  auto system = core::SoteriaSystem::load_file(path);
+  const auto system = core::SoteriaSystem::load_file(path);
   const auto data = make_corpus(0.01, seed + 1);
   math::Rng rng(seed ^ 0xa11ce);
   eval::ConfusionMatrix confusion(dataset::kFamilyCount);
@@ -93,7 +121,7 @@ int cmd_analyze(const char* path, std::uint64_t seed) {
 }
 
 int cmd_attack(const char* path, std::uint64_t seed) {
-  auto system = core::SoteriaSystem::load_file(path);
+  const auto system = core::SoteriaSystem::load_file(path);
   const auto data = make_corpus(0.01, seed + 2);
   math::Rng rng(seed ^ 0x47ac);
 
@@ -145,18 +173,249 @@ int cmd_attack(const char* path, std::uint64_t seed) {
   return 0;
 }
 
+int cmd_corpus(const char* dir, double scale, std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  const auto data = make_corpus(scale, seed);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    const auto& sample = data.test[i];
+    if (sample.binary.empty()) continue;
+    const auto path =
+        fs::path(dir) / ("sample_" + std::to_string(i) + "_" +
+                         std::string(dataset::family_name(sample.family)) +
+                         ".bin");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      throw core::Error(core::ErrorCode::kIoError,
+                        "corpus: cannot open " + path.string());
+    }
+    out.write(reinterpret_cast<const char*>(sample.binary.data()),
+              static_cast<std::streamsize>(sample.binary.size()));
+    std::printf("%s\n", path.string().c_str());
+    ++written;
+  }
+  std::fprintf(stderr, "wrote %zu sample binaries to %s\n", written, dir);
+  return 0;
+}
+
+#ifdef SOTERIA_HAVE_SERVE
+
+volatile std::sig_atomic_t g_sighup = 0;
+
+void handle_sighup(int) { g_sighup = 1; }
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+std::vector<std::uint8_t> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw core::Error(core::ErrorCode::kIoError,
+                      "serve: cannot open " + path);
+  }
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+struct PendingRequest {
+  std::uint64_t id = 0;
+  std::string path;
+  std::future<core::Verdict> verdict;
+};
+
+/// One JSON verdict (or failure) line on stdout, flushed so a piped
+/// consumer sees it immediately.
+void print_outcome(PendingRequest& pending) {
+  const auto id = static_cast<unsigned long long>(pending.id);
+  const std::string path = json_escape(pending.path);
+  try {
+    const auto verdict = pending.verdict.get();
+    std::printf("{\"id\":%llu,\"path\":\"%s\",\"adversarial\":%s,"
+                "\"family\":\"%s\",\"reconstruction_error\":%.17g}\n",
+                id, path.c_str(), verdict.adversarial ? "true" : "false",
+                std::string(dataset::family_name(verdict.predicted)).c_str(),
+                verdict.reconstruction_error);
+  } catch (const core::Error& e) {
+    std::printf("{\"id\":%llu,\"path\":\"%s\",\"error\":\"%s\","
+                "\"message\":\"%s\"}\n",
+                id, path.c_str(),
+                std::string(core::error_code_name(e.code())).c_str(),
+                json_escape(e.what()).c_str());
+  } catch (const std::exception& e) {
+    std::printf("{\"id\":%llu,\"path\":\"%s\",\"error\":\"Internal\","
+                "\"message\":\"%s\"}\n",
+                id, path.c_str(), json_escape(e.what()).c_str());
+  }
+  std::fflush(stdout);
+}
+
+int cmd_serve(const char* model_path, int argc, char** argv) {
+  serve::ServiceConfig config;
+  std::string swap_path;
+  for (int i = 0; i < argc; ++i) {
+    const auto flag_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--queue-depth")) {
+      config.queue_depth = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--threads")) {
+      config.num_threads = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--seed")) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--swap-model")) {
+      swap_path = v;
+    } else {
+      std::fprintf(stderr, "serve: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto model = std::make_shared<const core::SoteriaSystem>(
+      core::SoteriaSystem::load_file(model_path));
+  serve::AnalysisService service(std::move(model), config);
+  std::fprintf(stderr,
+               "serving %s: %zu workers, queue depth %zu "
+               "(paths on stdin, `!swap <path>` to hot-swap)\n",
+               model_path, service.worker_count(), config.queue_depth);
+  if (!swap_path.empty()) std::signal(SIGHUP, handle_sighup);
+
+  std::deque<PendingRequest> pending;
+  // Print any finished requests at the head of the line; completion is
+  // in-order by construction only at one worker, so the deque holds
+  // results back until their turn.
+  const auto drain_ready = [&] {
+    while (!pending.empty() &&
+           pending.front().verdict.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      print_outcome(pending.front());
+      pending.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (g_sighup != 0) {
+      g_sighup = 0;
+      try {
+        (void)service.swap_model_file(swap_path);
+        std::fprintf(stderr, "SIGHUP: model swapped from %s\n",
+                     swap_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "SIGHUP: swap failed: %s\n", e.what());
+      }
+    }
+    if (line.empty()) continue;
+    if (line.rfind("!swap ", 0) == 0) {
+      const std::string path = line.substr(6);
+      try {
+        (void)service.swap_model_file(path);
+        std::fprintf(stderr, "model swapped from %s\n", path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "swap failed: %s\n", e.what());
+      }
+      continue;
+    }
+
+    cfg::Cfg cfg;
+    try {
+      cfg = cfg::extract(read_binary_file(line));
+    } catch (const std::exception& e) {
+      std::printf("{\"path\":\"%s\",\"error\":\"IoError\",\"message\":"
+                  "\"%s\"}\n",
+                  json_escape(line).c_str(), json_escape(e.what()).c_str());
+      std::fflush(stdout);
+      continue;
+    }
+
+    for (;;) {
+      auto ticket = service.submit(cfg);
+      if (ticket.accepted()) {
+        pending.push_back(
+            {ticket.id, line, std::move(ticket.verdict)});
+        break;
+      }
+      if (ticket.status == core::ErrorCode::kQueueFull &&
+          !pending.empty()) {
+        // Backpressure: block on the oldest in-flight request (its
+        // completion means the queue has drained at least one slot),
+        // then retry.
+        print_outcome(pending.front());
+        pending.pop_front();
+        continue;
+      }
+      std::fprintf(stderr, "submit rejected: %s\n",
+                   std::string(core::error_code_name(ticket.status)).c_str());
+      break;
+    }
+    drain_ready();
+  }
+
+  while (!pending.empty()) {
+    print_outcome(pending.front());
+    pending.pop_front();
+  }
+  service.shutdown(serve::ShutdownPolicy::kDrain);
+  const auto stats = service.stats();
+  std::fprintf(stderr,
+               "served: %llu accepted, %llu completed, %llu rejected, "
+               "%llu expired, %llu failed, %llu swaps\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.completed),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.expired),
+               static_cast<unsigned long long>(stats.failed),
+               static_cast<unsigned long long>(stats.swaps));
+  return 0;
+}
+
+#endif  // SOTERIA_HAVE_SERVE
+
 int dispatch(int argc, char** argv) {
   if (argc < 3) return usage();
   const char* command = argv[1];
   const char* path = argv[2];
   try {
-    if (std::strcmp(command, "train") == 0) {
+    if (std::strcmp(command, "train") == 0 ||
+        std::strcmp(command, "corpus") == 0) {
       const double scale =
           argc > 3 ? std::strtod(argv[3], nullptr) : 0.02;
       const std::uint64_t seed =
           argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
-      return cmd_train(path, scale, seed);
+      return std::strcmp(command, "train") == 0
+                 ? cmd_train(path, scale, seed)
+                 : cmd_corpus(path, scale, seed);
     }
+#ifdef SOTERIA_HAVE_SERVE
+    if (std::strcmp(command, "serve") == 0) {
+      return cmd_serve(path, argc - 3, argv + 3);
+    }
+#endif
     const std::uint64_t seed =
         argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
     if (std::strcmp(command, "analyze") == 0) return cmd_analyze(path, seed);

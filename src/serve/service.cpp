@@ -1,0 +1,217 @@
+#include "serve/service.h"
+
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace soteria::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(
+    std::shared_ptr<const core::SoteriaSystem> system, ServiceConfig config)
+    : config_(config),
+      worker_count_(runtime::resolve_threads(config.num_threads)),
+      base_rng_(config.seed),
+      model_(std::move(system)),
+      queue_(config.queue_depth),
+      pool_(worker_count_),
+      dispatcher_([this] {
+        // One long-lived parallel region whose bodies are the worker
+        // loops: the pool contributes worker_count_ - 1 threads and the
+        // dispatcher itself is the remaining runner.
+        pool_.parallel_for(worker_count_,
+                           [this](std::size_t) { worker_loop(); });
+      }) {
+  if (model_ == nullptr) {
+    // Unblock the already-started workers before throwing.
+    queue_.close();
+    dispatcher_.join();
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "AnalysisService: null system");
+  }
+}
+
+AnalysisService::~AnalysisService() { shutdown(config_.shutdown_policy); }
+
+AnalysisService::Ticket AnalysisService::submit(cfg::Cfg cfg) {
+  const auto deadline =
+      config_.default_deadline.count() > 0
+          ? Clock::now() + config_.default_deadline
+          : Clock::time_point::max();
+  return submit_internal(std::move(cfg), deadline);
+}
+
+AnalysisService::Ticket AnalysisService::submit(cfg::Cfg cfg,
+                                                Clock::time_point deadline) {
+  return submit_internal(std::move(cfg), deadline);
+}
+
+AnalysisService::Ticket AnalysisService::submit_internal(
+    cfg::Cfg cfg, Clock::time_point deadline) {
+  Ticket ticket;
+  Request request;
+  request.cfg = std::move(cfg);
+  request.deadline = deadline;
+  auto verdict = request.promise.get_future();
+  {
+    // Id allocation and enqueue are one atomic step: accepted ids stay
+    // dense and queue order matches id order (the analyze_batch
+    // bit-identity contract), and no submission can race past an
+    // in-progress shutdown.
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    if (!accepting_.load(std::memory_order_relaxed)) {
+      ticket.status = core::ErrorCode::kShuttingDown;
+    } else {
+      request.id = next_id_;
+      request.enqueued = Clock::now();
+      switch (queue_.try_push(std::move(request))) {
+        case PushStatus::kAccepted:
+          ticket.id = next_id_++;
+          ticket.status = core::ErrorCode::kOk;
+          ticket.verdict = std::move(verdict);
+          break;
+        case PushStatus::kFull:
+          ticket.status = core::ErrorCode::kQueueFull;
+          break;
+        case PushStatus::kClosed:
+          ticket.status = core::ErrorCode::kShuttingDown;
+          break;
+      }
+    }
+  }
+  auto& registry = obs::registry();
+  if (ticket.accepted()) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter_add("serve.requests.accepted");
+    registry.gauge_set("serve.queue.depth",
+                       static_cast<double>(queue_.size()));
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter_add("serve.requests.rejected");
+  }
+  return ticket;
+}
+
+void AnalysisService::worker_loop() {
+  auto& registry = obs::registry();
+  while (auto item = queue_.pop()) {
+    Request request = std::move(*item);
+    const auto start = Clock::now();
+    registry.gauge_set("serve.queue.depth",
+                       static_cast<double>(queue_.size()));
+    registry.record("serve.queue.wait",
+                    seconds_between(request.enqueued, start));
+
+    // Expire queued work before it wastes a worker on inference.
+    if (start >= request.deadline) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter_add("serve.requests.expired");
+      request.promise.set_exception(std::make_exception_ptr(core::Error(
+          core::ErrorCode::kDeadlineExceeded,
+          "AnalysisService: deadline passed while request was queued")));
+      continue;
+    }
+
+    // The model is pinned for this request only: a concurrent
+    // swap_model publishes to later requests while this one finishes on
+    // the system it started with.
+    const auto model = this->model();
+    try {
+      core::Verdict verdict = [&] {
+        const obs::Span span("serve.request");
+        math::Rng rng = base_rng_.child(request.id);
+        return model->analyze(request.cfg, rng);
+      }();
+      // Count *before* fulfilling the promise: a caller unblocked by
+      // the future must observe the completion in stats().
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter_add("serve.requests.completed");
+      request.promise.set_value(std::move(verdict));
+    } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter_add("serve.requests.failed");
+      request.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void AnalysisService::swap_model(
+    std::shared_ptr<const core::SoteriaSystem> system) {
+  if (system == nullptr) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "AnalysisService::swap_model: null system");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(model_mutex_);
+    model_ = std::move(system);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().counter_add("serve.model.swaps");
+}
+
+std::shared_ptr<const core::SoteriaSystem> AnalysisService::swap_model_file(
+    const std::string& path) {
+  auto fresh = std::make_shared<const core::SoteriaSystem>(
+      core::SoteriaSystem::load_file(path));
+  swap_model(fresh);
+  return fresh;
+}
+
+std::shared_ptr<const core::SoteriaSystem> AnalysisService::model() const {
+  const std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+void AnalysisService::pause() { queue_.pause(); }
+
+void AnalysisService::resume() { queue_.resume(); }
+
+void AnalysisService::shutdown(ShutdownPolicy policy) {
+  // The lock covers the whole teardown so a second caller returns only
+  // after the first finished joining the workers.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  {
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    accepting_.store(false, std::memory_order_relaxed);
+  }
+  if (policy == ShutdownPolicy::kCancel) {
+    auto pending = queue_.take_all();
+    for (auto& request : pending) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs::registry().counter_add("serve.requests.cancelled");
+      request.promise.set_exception(std::make_exception_ptr(core::Error(
+          core::ErrorCode::kCancelled,
+          "AnalysisService: request cancelled by shutdown")));
+    }
+  }
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServiceStats AnalysisService::stats() const {
+  ServiceStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.size();
+  return stats;
+}
+
+}  // namespace soteria::serve

@@ -1,0 +1,208 @@
+// Asynchronous analysis service: a trained SoteriaSystem behind a
+// bounded-queue, deadline-aware, hot-swappable request API — the
+// long-lived serving path the blocking analyze/analyze_batch calls
+// don't provide.
+//
+// Contract highlights:
+//
+//  * Admission control. `submit` never blocks: at `queue_depth` pending
+//    requests it returns a rejected Ticket (ErrorCode::kQueueFull), and
+//    after shutdown begins it returns kShuttingDown. Backpressure is a
+//    first-class answer, not an exception.
+//  * Determinism. Accepted requests receive dense ids 0, 1, 2, ... and
+//    request i is analyzed with `Rng(config.seed).child(i)` — exactly
+//    the per-index split analyze_batch uses — so the verdict stream is
+//    bit-identical to a serial `analyze_batch` over the same CFGs in
+//    submission order, at any worker count.
+//  * Deadlines. A request whose deadline passes while it waits in the
+//    queue is expired at dequeue (Error{kDeadlineExceeded}) before it
+//    wastes a worker on inference.
+//  * Hot swap. `swap_model` atomically publishes a new trained system:
+//    in-flight requests finish on the model they started with, later
+//    requests see the new one. No lock is held during inference.
+//  * Shutdown. `shutdown(kDrain)` stops intake and finishes every
+//    queued request; `shutdown(kCancel)` fails queued-but-unstarted
+//    requests with Error{kCancelled}. The destructor runs the
+//    configured policy.
+//
+// Workers run on the existing runtime::ThreadPool: a dispatcher thread
+// opens one parallel region whose bodies are persistent worker loops,
+// so the pool's span-context propagation and lifecycle management are
+// reused as-is.
+//
+// Observability (when the obs registry is enabled): gauge
+// `serve.queue.depth`; counters `serve.requests.{accepted,rejected,
+// expired,completed,cancelled,failed}` and `serve.model.swaps`;
+// histograms `t/serve.request` (inference latency) and
+// `serve.queue.wait` (time spent queued, seconds).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cfg/cfg.h"
+#include "math/rng.h"
+#include "runtime/thread_pool.h"
+#include "serve/queue.h"
+#include "soteria/error.h"
+#include "soteria/system.h"
+
+namespace soteria::serve {
+
+/// What happens to queued-but-unstarted requests when the service stops.
+enum class ShutdownPolicy {
+  kDrain,   ///< finish every queued request, then stop
+  kCancel,  ///< fail queued requests with Error{kCancelled}
+};
+
+struct ServiceConfig {
+  /// Maximum queued (accepted but not yet running) requests; submission
+  /// `queue_depth + 1` is rejected with kQueueFull.
+  std::size_t queue_depth = 256;
+
+  /// Worker threads (runtime::resolve_threads semantics: 0 = all
+  /// hardware threads).
+  std::size_t num_threads = 0;
+
+  /// Deadline applied to submissions that don't carry their own;
+  /// zero = no deadline.
+  std::chrono::nanoseconds default_deadline{0};
+
+  /// Policy the destructor applies to still-queued work.
+  ShutdownPolicy shutdown_policy = ShutdownPolicy::kDrain;
+
+  /// Base seed: request i draws walks from Rng(seed).child(i).
+  std::uint64_t seed = 0;
+};
+
+/// Point-in-time counters (monotonic since construction, except
+/// queue_depth which is instantaneous).
+struct ServiceStats {
+  std::uint64_t accepted = 0;   ///< admitted into the queue
+  std::uint64_t rejected = 0;   ///< kQueueFull + kShuttingDown rejections
+  std::uint64_t expired = 0;    ///< deadline passed while queued
+  std::uint64_t completed = 0;  ///< verdict delivered
+  std::uint64_t cancelled = 0;  ///< failed by a cancel-mode shutdown
+  std::uint64_t failed = 0;     ///< inference threw
+  std::uint64_t swaps = 0;      ///< models published via swap_model
+  std::size_t queue_depth = 0;  ///< requests queued right now
+};
+
+class AnalysisService {
+ public:
+  /// Result of a submission attempt. `verdict` is valid only when
+  /// `accepted()`; it yields the Verdict or rethrows the request's
+  /// failure (Error{kDeadlineExceeded}, Error{kCancelled}, or whatever
+  /// inference threw).
+  struct Ticket {
+    std::uint64_t id = 0;
+    core::ErrorCode status = core::ErrorCode::kOk;
+    std::future<core::Verdict> verdict;
+
+    [[nodiscard]] bool accepted() const noexcept {
+      return status == core::ErrorCode::kOk;
+    }
+  };
+
+  /// Starts `config.num_threads` workers immediately. Throws
+  /// core::Error{kInvalidArgument} for a null system; queue and thread
+  /// validation errors propagate from the underlying components.
+  explicit AnalysisService(std::shared_ptr<const core::SoteriaSystem> system,
+                           ServiceConfig config = {});
+
+  /// Runs shutdown(config().shutdown_policy) if the service is still up.
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Non-blocking submission with the config's default deadline.
+  [[nodiscard]] Ticket submit(cfg::Cfg cfg);
+
+  /// Non-blocking submission with an explicit absolute deadline.
+  [[nodiscard]] Ticket submit(cfg::Cfg cfg,
+                              std::chrono::steady_clock::time_point deadline);
+
+  /// Atomically publishes `system` to subsequent requests. Throws
+  /// core::Error{kInvalidArgument} for null.
+  void swap_model(std::shared_ptr<const core::SoteriaSystem> system);
+
+  /// Loads a trained system from `path` (core::Error{kIoError} /
+  /// {kCorruptModel} on failure) and publishes it. Returns the new model.
+  std::shared_ptr<const core::SoteriaSystem> swap_model_file(
+      const std::string& path);
+
+  /// The currently published model.
+  [[nodiscard]] std::shared_ptr<const core::SoteriaSystem> model() const;
+
+  /// Maintenance valve: hold workers (queued requests wait, submissions
+  /// keep filling the queue until backpressure) / release them.
+  void pause();
+  void resume();
+
+  /// Stops intake, applies `policy` to queued work, joins the workers.
+  /// Idempotent; later calls are no-ops (the first policy wins).
+  void shutdown(ShutdownPolicy policy);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  /// Resolved worker count (after resolve_threads).
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return worker_count_;
+  }
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    cfg::Cfg cfg;
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<core::Verdict> promise;
+  };
+
+  [[nodiscard]] Ticket submit_internal(
+      cfg::Cfg cfg, std::chrono::steady_clock::time_point deadline);
+  void worker_loop();
+
+  ServiceConfig config_;
+  std::size_t worker_count_;
+  math::Rng base_rng_;  ///< never advanced; only child() is used
+  /// Guards only the published-model pointer; held for a shared_ptr
+  /// copy, never during inference. (A std::atomic<std::shared_ptr>
+  /// would do, but libstdc++'s lock-bit protocol is opaque to TSan and
+  /// the serve suite must stay sanitizer-clean.)
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const core::SoteriaSystem> model_;
+  BoundedMpmcQueue<Request> queue_;
+
+  /// Serializes id allocation with enqueue so accepted ids are dense and
+  /// queue order matches id order (the determinism contract), and so no
+  /// submission can slip past an in-progress shutdown.
+  std::mutex submit_mutex_;
+  std::uint64_t next_id_ = 0;       // guarded by submit_mutex_
+  std::atomic<bool> accepting_{true};
+
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;  // guarded by shutdown_mutex_
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+
+  runtime::ThreadPool pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace soteria::serve

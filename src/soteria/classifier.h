@@ -67,7 +67,13 @@ class FamilyClassifier {
     return lbl_report_;
   }
   [[nodiscard]] nn::Sequential& dbl_model() noexcept { return dbl_model_; }
+  [[nodiscard]] const nn::Sequential& dbl_model() const noexcept {
+    return dbl_model_;
+  }
   [[nodiscard]] nn::Sequential& lbl_model() noexcept { return lbl_model_; }
+  [[nodiscard]] const nn::Sequential& lbl_model() const noexcept {
+    return lbl_model_;
+  }
 
   /// Binary (de)serialization of both CNNs. `load` throws
   /// std::runtime_error on a corrupt stream.

@@ -81,6 +81,9 @@ class AeDetector {
 
   /// The underlying model (for persistence).
   [[nodiscard]] nn::Sequential& model() noexcept { return model_; }
+  [[nodiscard]] const nn::Sequential& model() const noexcept {
+    return model_;
+  }
 
   /// Binary (de)serialization: architecture, weights, residual
   /// statistics, and threshold calibration. `load` throws

@@ -1,0 +1,43 @@
+// Error taxonomy for the serving / analysis / persistence paths.
+//
+// `Error` derives from std::runtime_error so existing catch sites (and
+// tests) keep working, but carries a machine-readable `ErrorCode` so a
+// service caller can distinguish a corrupt model file from queue
+// backpressure from an expired deadline without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace soteria::core {
+
+/// Machine-readable failure categories surfaced by the public API.
+enum class ErrorCode {
+  kOk = 0,            ///< not an error (e.g. an accepted service ticket)
+  kInvalidArgument,   ///< caller passed a structurally invalid value
+  kInvalidConfig,     ///< configuration failed validation
+  kIoError,           ///< file could not be opened / read / written
+  kCorruptModel,      ///< persisted model stream failed validation
+  kQueueFull,         ///< service queue at capacity (backpressure)
+  kDeadlineExceeded,  ///< request deadline passed before completion
+  kCancelled,         ///< request discarded by a cancel-mode shutdown
+  kShuttingDown,      ///< service no longer accepts new work
+  kInternal,          ///< unexpected failure inside the library
+};
+
+/// Stable identifier for a code ("QueueFull", "CorruptModel", ...).
+[[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Exception with a typed code. what() is "[<code name>] <message>".
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message);
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace soteria::core

@@ -5,7 +5,7 @@
 namespace soteria::core {
 
 EvaluationReport evaluate_system(
-    SoteriaSystem& system, std::span<const dataset::Sample> clean,
+    const SoteriaSystem& system, std::span<const dataset::Sample> clean,
     std::span<const dataset::AdversarialExample> adversarial,
     math::Rng& rng) {
   EvaluationReport report;

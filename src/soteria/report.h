@@ -39,7 +39,7 @@ struct EvaluationReport {
 /// Scores every clean sample and every AE through `system`. Fresh walks
 /// draw from `rng`; deterministic given its state.
 [[nodiscard]] EvaluationReport evaluate_system(
-    SoteriaSystem& system, std::span<const dataset::Sample> clean,
+    const SoteriaSystem& system, std::span<const dataset::Sample> clean,
     std::span<const dataset::AdversarialExample> adversarial,
     math::Rng& rng);
 

@@ -174,19 +174,35 @@ Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg, math::Rng& rng) const {
 }
 
 std::vector<Verdict> SoteriaSystem::analyze_batch(
+    std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
+    const AnalyzeOptions& options) const {
+  if (options.collect_metrics) obs::set_enabled(true);
+  const std::size_t threads =
+      options.num_threads.value_or(config_.num_threads);
+  const auto deadline = options.deadline;
+  const obs::Span span("soteria.analyze_batch");
+  return runtime::parallel_map(
+      threads, cfgs.size(), [&](std::size_t i) {
+        if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+          throw Error(ErrorCode::kDeadlineExceeded,
+                      "SoteriaSystem::analyze_batch: deadline exceeded");
+        }
+        math::Rng sample_rng = rng.child(i);
+        return analyze_features(extract(cfgs[i], sample_rng));
+      });
+}
+
+std::vector<Verdict> SoteriaSystem::analyze_batch(
     std::span<const cfg::Cfg> cfgs, const math::Rng& rng) const {
-  return analyze_batch(cfgs, rng, config_.num_threads);
+  return analyze_batch(cfgs, rng, AnalyzeOptions{});
 }
 
 std::vector<Verdict> SoteriaSystem::analyze_batch(
     std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
     std::size_t num_threads) const {
-  const obs::Span span("soteria.analyze_batch");
-  return runtime::parallel_map(
-      num_threads, cfgs.size(), [&](std::size_t i) {
-        math::Rng sample_rng = rng.child(i);
-        return analyze_features(extract(cfgs[i], sample_rng));
-      });
+  AnalyzeOptions options;
+  options.num_threads = num_threads;
+  return analyze_batch(cfgs, rng, options);
 }
 
 namespace {
@@ -207,9 +223,9 @@ void SoteriaSystem::save(std::ostream& out) const {
   classifier_.save(out);
 }
 
-SoteriaSystem SoteriaSystem::load(std::istream& in) {
+SoteriaSystem SoteriaSystem::load(std::istream& in) try {
   if (io::read_scalar<std::uint32_t>(in) != kSystemMagic) {
-    throw std::runtime_error("SoteriaSystem::load: bad magic");
+    throw Error(ErrorCode::kCorruptModel, "SoteriaSystem::load: bad magic");
   }
   SoteriaSystem system;
   system.config_.detector_alpha = io::read_scalar<double>(in);
@@ -230,13 +246,20 @@ SoteriaSystem SoteriaSystem::load(std::istream& in) {
   system.detector_ = AeDetector::load(in);
   system.classifier_ = FamilyClassifier::load(in);
   return system;
+} catch (const Error&) {
+  throw;
+} catch (const std::exception& e) {
+  // The component loaders report corruption as untyped runtime_errors;
+  // surface one typed code to service callers.
+  throw Error(ErrorCode::kCorruptModel,
+              std::string("SoteriaSystem::load: ") + e.what());
 }
 
 void SoteriaSystem::save_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
-    throw std::runtime_error("SoteriaSystem::save_file: cannot open " +
-                             path);
+    throw Error(ErrorCode::kIoError,
+                "SoteriaSystem::save_file: cannot open " + path);
   }
   save(out);
 }
@@ -244,8 +267,8 @@ void SoteriaSystem::save_file(const std::string& path) const {
 SoteriaSystem SoteriaSystem::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw std::runtime_error("SoteriaSystem::load_file: cannot open " +
-                             path);
+    throw Error(ErrorCode::kIoError,
+                "SoteriaSystem::load_file: cannot open " + path);
   }
   return load(in);
 }

@@ -2,7 +2,9 @@
 // detector + family classifier behind one `train` / `analyze` API.
 #pragma once
 
+#include <chrono>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "soteria/classifier.h"
 #include "soteria/config.h"
 #include "soteria/detector.h"
+#include "soteria/error.h"
 
 namespace soteria::core {
 
@@ -26,6 +29,25 @@ struct Verdict {
   /// Majority-vote family (valid also for flagged samples, for the
   /// Table VIII "what would the classifier have said" analysis).
   dataset::Family predicted = dataset::Family::kBenign;
+};
+
+/// Per-call options for analyze_batch. A default-constructed value
+/// reproduces the historical two-argument behavior exactly.
+struct AnalyzeOptions {
+  /// Worker threads for the batch (runtime::resolve_threads semantics:
+  /// 0 = all hardware threads, 1 = serial). nullopt defers to
+  /// `config().num_threads`. Verdicts are bit-identical at any setting.
+  std::optional<std::size_t> num_threads;
+
+  /// Absolute deadline for the whole batch. When it passes before the
+  /// batch finishes, analyze_batch throws Error{kDeadlineExceeded} and
+  /// partial results are discarded (checked cooperatively before each
+  /// sample). nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Enable the process-wide observability registry for this call (same
+  /// one-way semantics as SoteriaConfig::collect_metrics).
+  bool collect_metrics = false;
 };
 
 class SoteriaSystem {
@@ -49,15 +71,23 @@ class SoteriaSystem {
   [[nodiscard]] Verdict analyze_features(
       const features::SampleFeatures& features) const;
 
-  /// Analyzes many samples concurrently on `config().num_threads`
-  /// threads. Sample i draws walks from `rng.child(i)` (`rng` itself is
-  /// not advanced), so the verdicts are bit-identical to a serial loop
-  /// at any thread count.
+  /// Analyzes many samples concurrently. Sample i draws walks from
+  /// `rng.child(i)` (`rng` itself is not advanced), so the verdicts are
+  /// bit-identical to a serial loop at any thread count. Throws
+  /// Error{kDeadlineExceeded} when `options.deadline` passes before the
+  /// batch completes.
+  [[nodiscard]] std::vector<Verdict> analyze_batch(
+      std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
+      const AnalyzeOptions& options) const;
+
+  /// Legacy spelling of analyze_batch(cfgs, rng, AnalyzeOptions{}).
+  [[deprecated("use analyze_batch(cfgs, rng, AnalyzeOptions{})")]]
   [[nodiscard]] std::vector<Verdict> analyze_batch(
       std::span<const cfg::Cfg> cfgs, const math::Rng& rng) const;
 
-  /// analyze_batch with an explicit thread count (0 = all hardware
-  /// threads, 1 = serial).
+  /// Legacy spelling of analyze_batch with AnalyzeOptions::num_threads.
+  [[deprecated(
+      "use analyze_batch(cfgs, rng, AnalyzeOptions{.num_threads = n})")]]
   [[nodiscard]] std::vector<Verdict> analyze_batch(
       std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
       std::size_t num_threads) const;
@@ -70,7 +100,13 @@ class SoteriaSystem {
     return pipeline_;
   }
   [[nodiscard]] AeDetector& detector() noexcept { return detector_; }
+  [[nodiscard]] const AeDetector& detector() const noexcept {
+    return detector_;
+  }
   [[nodiscard]] FamilyClassifier& classifier() noexcept {
+    return classifier_;
+  }
+  [[nodiscard]] const FamilyClassifier& classifier() const noexcept {
     return classifier_;
   }
   [[nodiscard]] const SoteriaConfig& config() const noexcept {
@@ -79,12 +115,12 @@ class SoteriaSystem {
 
   /// Binary (de)serialization of the whole trained system (config,
   /// vocabularies, detector, classifier). `load` throws
-  /// std::runtime_error on a corrupt stream.
+  /// Error{kCorruptModel} (a std::runtime_error) on a corrupt stream.
   void save(std::ostream& out) const;
   [[nodiscard]] static SoteriaSystem load(std::istream& in);
 
-  /// File-path convenience wrappers. Throw std::runtime_error when the
-  /// file cannot be opened.
+  /// File-path convenience wrappers. Throw Error{kIoError} (a
+  /// std::runtime_error) when the file cannot be opened.
   void save_file(const std::string& path) const;
   [[nodiscard]] static SoteriaSystem load_file(const std::string& path);
 

@@ -27,6 +27,13 @@ Cfg random_cfg(std::uint64_t seed, std::size_t n = 20) {
   return Cfg(graph::random_connected_dag_plus(n, 0.1, rng), 0);
 }
 
+/// AnalyzeOptions with an explicit thread count.
+core::AnalyzeOptions with_threads(std::size_t threads) {
+  core::AnalyzeOptions options;
+  options.num_threads = threads;
+  return options;
+}
+
 TEST(LabelingCache, RejectsZeroCapacityAndNullHasher) {
   EXPECT_THROW(LabelingCache(0), std::invalid_argument);
   EXPECT_THROW(LabelingCache(4, LabelingCache::Hasher{}),
@@ -268,9 +275,9 @@ TEST_F(CacheEquivalenceFixture, AnalyzeBatchAgreesAcrossThreadCounts) {
   ASSERT_FALSE(cfgs.empty());
 
   const math::Rng rng(47);
-  const auto baseline = uncached->analyze_batch(cfgs, rng, 1);
+  const auto baseline = uncached->analyze_batch(cfgs, rng, with_threads(1));
   for (std::size_t threads : {1U, 2U, 8U}) {
-    const auto verdicts = cached->analyze_batch(cfgs, rng, threads);
+    const auto verdicts = cached->analyze_batch(cfgs, rng, with_threads(threads));
     ASSERT_EQ(verdicts.size(), baseline.size());
     for (std::size_t i = 0; i < verdicts.size(); ++i) {
       EXPECT_EQ(verdicts[i].adversarial, baseline[i].adversarial);

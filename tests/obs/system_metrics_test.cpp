@@ -22,6 +22,13 @@
 namespace soteria::core {
 namespace {
 
+/// AnalyzeOptions with an explicit thread count.
+AnalyzeOptions with_threads(std::size_t threads) {
+  AnalyzeOptions options;
+  options.num_threads = threads;
+  return options;
+}
+
 // Shared tiny experiment, trained once with collect_metrics on so one
 // test can assert on the training-time breakdown. The registry is
 // reset and disabled afterwards; every test manages its own window.
@@ -71,7 +78,7 @@ struct ObsSystemFixture : public ::testing::Test {
     obs::registry().reset();
     obs::set_enabled(true);
     const math::Rng rng(7);
-    (void)system->analyze_batch(*cfgs, rng, threads);
+    (void)system->analyze_batch(*cfgs, rng, with_threads(threads));
     obs::set_enabled(false);
     auto snap = obs::registry().snapshot();
     obs::registry().reset();
@@ -127,7 +134,7 @@ TEST_F(ObsSystemFixture, AnalyzeBatchCountersMatchVerdicts) {
   obs::registry().reset();
   obs::set_enabled(true);
   const math::Rng rng(7);
-  const auto verdicts = system->analyze_batch(*cfgs, rng, 1);
+  const auto verdicts = system->analyze_batch(*cfgs, rng, with_threads(1));
   obs::set_enabled(false);
   const auto snap = obs::registry().snapshot();
 
@@ -193,7 +200,7 @@ TEST_F(ObsSystemFixture, DisabledRegistryRecordsNothingDuringAnalysis) {
   obs::registry().reset();
   ASSERT_FALSE(obs::enabled());
   const math::Rng rng(7);
-  (void)system->analyze_batch(*cfgs, rng, 4);
+  (void)system->analyze_batch(*cfgs, rng, with_threads(4));
   EXPECT_TRUE(obs::registry().snapshot().empty());
 }
 

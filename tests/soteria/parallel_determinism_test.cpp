@@ -15,6 +15,13 @@
 namespace soteria::core {
 namespace {
 
+/// AnalyzeOptions with an explicit thread count.
+AnalyzeOptions with_threads(std::size_t threads) {
+  AnalyzeOptions options;
+  options.num_threads = threads;
+  return options;
+}
+
 // Trains the same tiny experiment twice — serially and on 4 threads —
 // once for the whole suite (training dominates test time).
 struct ParallelDeterminismFixture : public ::testing::Test {
@@ -91,10 +98,10 @@ TEST_F(ParallelDeterminismFixture, AnalyzeBatchIsThreadCountInvariant) {
   const auto cfgs = test_cfgs(12);
   ASSERT_FALSE(cfgs.empty());
   const math::Rng rng(33);
-  const auto baseline = serial->analyze_batch(cfgs, rng, 1);
+  const auto baseline = serial->analyze_batch(cfgs, rng, with_threads(1));
   ASSERT_EQ(baseline.size(), cfgs.size());
   for (std::size_t threads : {2U, 8U}) {
-    const auto verdicts = serial->analyze_batch(cfgs, rng, threads);
+    const auto verdicts = serial->analyze_batch(cfgs, rng, with_threads(threads));
     ASSERT_EQ(verdicts.size(), baseline.size());
     for (std::size_t i = 0; i < verdicts.size(); ++i) {
       EXPECT_EQ(verdicts[i].adversarial, baseline[i].adversarial);
@@ -111,7 +118,7 @@ TEST_F(ParallelDeterminismFixture, AnalyzeBatchIsThreadCountInvariant) {
 TEST_F(ParallelDeterminismFixture, AnalyzeBatchMatchesPerSampleChildren) {
   const auto cfgs = test_cfgs(6);
   const math::Rng rng(35);
-  const auto batch = serial->analyze_batch(cfgs, rng, 4);
+  const auto batch = serial->analyze_batch(cfgs, rng, with_threads(4));
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
     math::Rng sample_rng = rng.child(i);
     const auto verdict = serial->analyze(cfgs[i], sample_rng);
@@ -124,7 +131,7 @@ TEST_F(ParallelDeterminismFixture, AnalyzeBatchMatchesPerSampleChildren) {
 TEST_F(ParallelDeterminismFixture, AnalyzeBatchDoesNotAdvanceCallerRng) {
   const auto cfgs = test_cfgs(4);
   math::Rng rng(37);
-  (void)serial->analyze_batch(cfgs, rng, 2);
+  (void)serial->analyze_batch(cfgs, rng, with_threads(2));
   math::Rng fresh(37);
   EXPECT_EQ(rng.engine()(), fresh.engine()());
 }
@@ -132,10 +139,11 @@ TEST_F(ParallelDeterminismFixture, AnalyzeBatchDoesNotAdvanceCallerRng) {
 TEST_F(ParallelDeterminismFixture, AnalyzeBatchDefaultUsesConfigThreads) {
   const auto cfgs = test_cfgs(5);
   const math::Rng rng(39);
-  // `parallel` was trained with num_threads = 4; the 2-arg overload must
-  // agree with the explicit serial call.
-  const auto defaulted = parallel->analyze_batch(cfgs, rng);
-  const auto explicit_serial = parallel->analyze_batch(cfgs, rng, 1);
+  // `parallel` was trained with num_threads = 4; default options must
+  // defer to config().num_threads and agree with the explicit serial
+  // call.
+  const auto defaulted = parallel->analyze_batch(cfgs, rng, AnalyzeOptions{});
+  const auto explicit_serial = parallel->analyze_batch(cfgs, rng, with_threads(1));
   ASSERT_EQ(defaulted.size(), explicit_serial.size());
   for (std::size_t i = 0; i < defaulted.size(); ++i) {
     EXPECT_EQ(defaulted[i].reconstruction_error,
@@ -146,7 +154,30 @@ TEST_F(ParallelDeterminismFixture, AnalyzeBatchDefaultUsesConfigThreads) {
 
 TEST_F(ParallelDeterminismFixture, AnalyzeBatchEmptyInput) {
   const math::Rng rng(41);
-  EXPECT_TRUE(serial->analyze_batch({}, rng, 4).empty());
+  EXPECT_TRUE(serial->analyze_batch({}, rng, with_threads(4)).empty());
+}
+
+TEST_F(ParallelDeterminismFixture, AnalyzeBatchExpiredDeadlineThrows) {
+  const auto cfgs = test_cfgs(4);
+  const math::Rng rng(43);
+  AnalyzeOptions options;
+  options.deadline = std::chrono::steady_clock::time_point::min();
+  try {
+    (void)serial->analyze_batch(cfgs, rng, options);
+    FAIL() << "expected Error{kDeadlineExceeded}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+  // A generous deadline changes nothing about the verdicts.
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  const auto relaxed = serial->analyze_batch(cfgs, rng, options);
+  const auto baseline = serial->analyze_batch(cfgs, rng, with_threads(1));
+  ASSERT_EQ(relaxed.size(), baseline.size());
+  for (std::size_t i = 0; i < relaxed.size(); ++i) {
+    EXPECT_EQ(relaxed[i].reconstruction_error,
+              baseline[i].reconstruction_error);
+  }
 }
 
 }  // namespace
