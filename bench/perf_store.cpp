@@ -1,0 +1,204 @@
+// perf_store — cold-vs-warm sweep of the persistent feature store
+// through SoteriaSystem::analyze_batch across corpus sizes and thread
+// counts. For each (corpus, threads) combination a fresh store
+// directory is populated by a cold batch run and then re-read by a
+// warm run with the identical batch RNG; we report:
+//
+//   * cold_ms / warm_ms  — wall-clock of the two runs
+//   * speedup            — cold_ms / warm_ms
+//   * hits / writes      — store counters after the warm run
+//
+// Every combination asserts the contract that makes the store safe to
+// enable at all: the cold verdicts, the warm verdicts, and a
+// store-less baseline are bit-identical (reconstruction error compared
+// with exact floating-point equality). The sweep fails if identity is
+// violated or the warm path never reaches the required 5x speedup.
+//
+// Results go to stdout, bench_results/perf_store.txt, and the
+// "perf_store" section of the repo-root BENCH_perf.json (read-merge-
+// write, other sections preserved). Scale/seed follow the other
+// benches' SOTERIA_SCALE / SOTERIA_SEED env vars.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/perf_json.h"
+#include "dataset/generator.h"
+#include "math/rng.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
+#include "store/feature_store.h"
+
+namespace soteria {
+namespace {
+
+constexpr double kRequiredSpeedup = 5.0;
+
+struct ComboResult {
+  std::size_t corpus = 0;
+  std::size_t threads = 0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double speedup = 0.0;
+  std::size_t hits = 0;
+  std::size_t writes = 0;
+};
+
+bool verdicts_identical(const std::vector<core::Verdict>& a,
+                        const std::vector<core::Verdict>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].adversarial != b[i].adversarial ||
+        a[i].reconstruction_error != b[i].reconstruction_error ||
+        a[i].predicted != b[i].predicted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double, std::milli> delta =
+      std::chrono::steady_clock::now() - start;
+  return delta.count();
+}
+
+ComboResult run_combo(const core::SoteriaSystem& model,
+                      const std::vector<cfg::Cfg>& cfgs,
+                      std::size_t threads,
+                      const std::filesystem::path& store_dir,
+                      bool* identical) {
+  std::error_code ec;
+  std::filesystem::remove_all(store_dir, ec);
+
+  core::AnalyzeOptions off;
+  off.num_threads = threads;
+  const math::Rng rng(911);
+  const auto baseline = model.analyze_batch(cfgs, rng, off);
+
+  core::AnalyzeOptions on = off;
+  on.feature_store = std::make_shared<store::FeatureStore>(
+      store::StoreConfig{store_dir.string(), /*capacity=*/0});
+
+  const auto cold_start = std::chrono::steady_clock::now();
+  const auto cold = model.analyze_batch(cfgs, rng, on);
+  const double cold_ms = elapsed_ms(cold_start);
+
+  const auto warm_start = std::chrono::steady_clock::now();
+  const auto warm = model.analyze_batch(cfgs, rng, on);
+  const double warm_ms = elapsed_ms(warm_start);
+
+  *identical = verdicts_identical(baseline, cold) &&
+               verdicts_identical(baseline, warm);
+
+  const auto stats = on.feature_store->stats();
+  ComboResult result;
+  result.corpus = cfgs.size();
+  result.threads = threads;
+  result.cold_ms = cold_ms;
+  result.warm_ms = warm_ms;
+  result.speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  result.hits = stats.hits;
+  result.writes = stats.writes;
+
+  std::filesystem::remove_all(store_dir, ec);
+  return result;
+}
+
+int run() {
+  const char* scale_env = std::getenv("SOTERIA_SCALE");
+  const char* seed_env = std::getenv("SOTERIA_SEED");
+  const double scale = scale_env ? std::strtod(scale_env, nullptr) : 0.008;
+  const std::uint64_t seed =
+      seed_env ? std::strtoull(seed_env, nullptr, 10) : 42;
+
+  dataset::DatasetConfig data_config;
+  data_config.scale = scale;
+  math::Rng rng(seed);
+  const auto data = dataset::generate_dataset(data_config, rng);
+  const auto config = core::tiny_config();
+  const auto model = core::SoteriaSystem::train(data.train, config);
+
+  std::vector<cfg::Cfg> base;
+  base.reserve(data.test.size());
+  for (const auto& sample : data.test) base.push_back(sample.cfg);
+  std::printf("perf_store: %zu test cfgs, scale %.3f, seed %llu\n",
+              base.size(), scale,
+              static_cast<unsigned long long>(seed));
+
+  const std::filesystem::path store_dir = "perf_store_scratch";
+  std::string report =
+      "corpus  threads  cold_ms  warm_ms  speedup  hits  writes\n";
+  std::map<std::string, double> json_values;
+  bool all_identical = true;
+  double best_speedup = 0.0;
+  // Corpus scaling repeats the test set; each batch index still maps
+  // to a distinct store key (the per-index walk seed is part of the
+  // key), so a repeated cfg is a genuine extra cold extraction.
+  for (const std::size_t multiplier : {1U, 2U, 4U}) {
+    std::vector<cfg::Cfg> cfgs;
+    cfgs.reserve(base.size() * multiplier);
+    for (std::size_t m = 0; m < multiplier; ++m) {
+      cfgs.insert(cfgs.end(), base.begin(), base.end());
+    }
+    for (const std::size_t threads : {1U, 2U, 4U}) {
+      bool identical = false;
+      const auto result =
+          run_combo(model, cfgs, threads, store_dir, &identical);
+      all_identical = all_identical && identical;
+      best_speedup = std::max(best_speedup, result.speedup);
+
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "%6zu  %7zu  %7.1f  %7.1f  %6.1fx  %4zu  %6zu%s\n",
+                    result.corpus, result.threads, result.cold_ms,
+                    result.warm_ms, result.speedup, result.hits,
+                    result.writes,
+                    identical ? "" : "  IDENTITY-VIOLATION");
+      report += line;
+      std::printf("%s", line);
+
+      char key_buffer[48];
+      std::snprintf(key_buffer, sizeof(key_buffer), "c%zu_t%zu_",
+                    result.corpus, result.threads);
+      const std::string key(key_buffer);
+      json_values[key + "cold_ms"] = result.cold_ms;
+      json_values[key + "warm_ms"] = result.warm_ms;
+      json_values[key + "speedup"] = result.speedup;
+    }
+  }
+  json_values["best_speedup"] = best_speedup;
+  json_values["bit_identical"] = all_identical ? 1.0 : 0.0;
+
+  char check[96];
+  std::snprintf(check, sizeof(check),
+                "bit_identical=%s  best_speedup=%.1fx (required %.0fx)\n",
+                all_identical ? "yes" : "NO", best_speedup,
+                kRequiredSpeedup);
+  report += check;
+  std::printf("%s", check);
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/perf_store.txt");
+  if (out) {
+    out << report;
+    std::printf("sweep written to bench_results/perf_store.txt\n");
+  }
+  if (bench::update_perf_json("BENCH_perf.json", "perf_store",
+                              json_values)) {
+    std::printf("sweep recorded in BENCH_perf.json\n");
+  }
+  return all_identical && best_speedup >= kRequiredSpeedup ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace soteria
+
+int main() { return soteria::run(); }

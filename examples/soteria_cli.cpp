@@ -13,15 +13,21 @@
 //       Write a fresh test corpus as raw firmware binaries into <dir>
 //       and print one path per line (pipe into `serve`).
 //   soteria_cli serve <model-path> [--queue-depth N] [--threads T]
-//                     [--seed S] [--swap-model <path>]
+//                     [--seed S] [--swap-model <path>] [--store <dir>]
 //       Run the async analysis service: read firmware binary paths from
 //       stdin (one per line), stream one JSON verdict per line to
 //       stdout in submission order. The control line `!swap <path>`
 //       hot-swaps the model, as does SIGHUP when --swap-model is given.
+//   soteria_cli store <stats|compact|verify|clear> <dir> [capacity]
+//       Maintain a persistent feature store directory: print stats,
+//       evict down to [capacity] entries, re-validate every entry
+//       (quarantining corrupt ones), or delete all entries.
 //
-// Any command accepts --metrics (human-readable per-stage breakdown on
-// stdout after the run) and/or --metrics-json (same data as one JSON
-// document).
+// `analyze` and `serve` accept --store <dir> to route feature
+// extraction through a persistent feature store at <dir> (verdicts are
+// bit-identical with the store on or off). Any command accepts
+// --metrics (human-readable per-stage breakdown on stdout after the
+// run) and/or --metrics-json (same data as one JSON document).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +46,7 @@
 #include "soteria/error.h"
 #include "soteria/presets.h"
 #include "soteria/system.h"
+#include "store/feature_store.h"
 
 #ifdef SOTERIA_HAVE_SERVE
 #include <chrono>
@@ -58,13 +65,17 @@ using namespace soteria;
 int usage() {
   std::fprintf(stderr,
                "usage: soteria_cli train   <model-path> [scale] [seed]\n"
-               "       soteria_cli analyze <model-path> [seed]\n"
+               "       soteria_cli analyze <model-path> [seed]"
+               " [--store <dir>]\n"
                "       soteria_cli attack  <model-path> [seed]\n"
                "       soteria_cli corpus  <dir> [scale] [seed]\n"
 #ifdef SOTERIA_HAVE_SERVE
                "       soteria_cli serve   <model-path> [--queue-depth N]"
-               " [--threads T] [--seed S] [--swap-model <path>]\n"
+               " [--threads T] [--seed S] [--swap-model <path>]"
+               " [--store <dir>]\n"
 #endif
+               "       soteria_cli store   <stats|compact|verify|clear>"
+               " <dir> [capacity]\n"
                "options: --metrics        print per-stage metrics report\n"
                "         --metrics-json   print metrics as JSON\n");
   return 2;
@@ -91,23 +102,42 @@ int cmd_train(const char* path, double scale, std::uint64_t seed) {
   return 0;
 }
 
-int cmd_analyze(const char* path, std::uint64_t seed) {
+int cmd_analyze(const char* path, std::uint64_t seed,
+                const std::string& store_dir) {
   const auto system = core::SoteriaSystem::load_file(path);
   const auto data = make_corpus(0.01, seed + 1);
-  math::Rng rng(seed ^ 0xa11ce);
+
+  core::AnalyzeOptions options;
+  if (!store_dir.empty()) {
+    options.feature_store = std::make_shared<store::FeatureStore>(
+        store::StoreConfig{store_dir});
+  }
+  std::vector<cfg::Cfg> cfgs;
+  cfgs.reserve(data.test.size());
+  for (const auto& sample : data.test) cfgs.push_back(sample.cfg);
+  const auto verdicts =
+      system.analyze_batch(cfgs, math::Rng(seed ^ 0xa11ce), options);
+
   eval::ConfusionMatrix confusion(dataset::kFamilyCount);
   std::size_t flagged = 0;
-  for (const auto& sample : data.test) {
-    const auto verdict = system.analyze(sample.cfg, rng);
-    if (verdict.adversarial) {
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (verdicts[i].adversarial) {
       ++flagged;
       continue;
     }
-    confusion.record(dataset::family_index(sample.family),
-                     dataset::family_index(verdict.predicted));
+    confusion.record(dataset::family_index(data.test[i].family),
+                     dataset::family_index(verdicts[i].predicted));
   }
   std::printf("analyzed %zu fresh samples: %zu flagged as adversarial\n",
               data.test.size(), flagged);
+  if (options.feature_store) {
+    const auto stats = options.feature_store->stats();
+    std::fprintf(stderr,
+                 "feature store: %llu hits, %llu misses, %llu writes\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.writes));
+  }
   std::printf("classification accuracy over passed samples: %.2f%%\n",
               100.0 * confusion.overall_accuracy());
   for (auto family : dataset::all_families()) {
@@ -197,6 +227,63 @@ int cmd_corpus(const char* dir, double scale, std::uint64_t seed) {
   }
   std::fprintf(stderr, "wrote %zu sample binaries to %s\n", written, dir);
   return 0;
+}
+
+void print_store_stats(const store::FeatureStore& fstore) {
+  const auto stats = fstore.stats();
+  std::printf("entries:         %zu\n", stats.entries);
+  std::printf("resident bytes:  %llu\n",
+              static_cast<unsigned long long>(stats.bytes));
+  std::printf("hits:            %llu\n",
+              static_cast<unsigned long long>(stats.hits));
+  std::printf("misses:          %llu\n",
+              static_cast<unsigned long long>(stats.misses));
+  std::printf("writes:          %llu\n",
+              static_cast<unsigned long long>(stats.writes));
+  std::printf("evictions:       %llu\n",
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("corrupt entries: %llu\n",
+              static_cast<unsigned long long>(stats.corrupt_entries));
+  std::printf("write failures:  %llu\n",
+              static_cast<unsigned long long>(stats.write_failures));
+}
+
+int cmd_store(const char* action, const char* dir, std::size_t capacity) {
+  // Maintenance opens default to unbounded capacity so `stats`/`verify`
+  // never evict; `compact <dir> <capacity>` bounds explicitly.
+  store::StoreConfig config;
+  config.directory = dir;
+  config.capacity = capacity;
+  store::FeatureStore fstore(config);
+
+  if (std::strcmp(action, "stats") == 0) {
+    print_store_stats(fstore);
+    return 0;
+  }
+  if (std::strcmp(action, "compact") == 0) {
+    // Opening with a bound already evicts down to it; count that
+    // open-time work together with anything compact() still finds.
+    const std::size_t evicted =
+        fstore.stats().evictions + fstore.compact();
+    std::printf("evicted %zu entries\n", evicted);
+    print_store_stats(fstore);
+    return 0;
+  }
+  if (std::strcmp(action, "verify") == 0) {
+    const auto report = fstore.verify();
+    std::printf("checked %zu entries, quarantined %zu\n", report.checked,
+                report.quarantined);
+    print_store_stats(fstore);
+    return 0;
+  }
+  if (std::strcmp(action, "clear") == 0) {
+    const std::size_t entries = fstore.stats().entries;
+    fstore.clear();
+    std::printf("cleared %zu entries\n", entries);
+    return 0;
+  }
+  std::fprintf(stderr, "store: unknown action %s\n", action);
+  return 2;
 }
 
 #ifdef SOTERIA_HAVE_SERVE
@@ -290,6 +377,9 @@ int cmd_serve(const char* model_path, int argc, char** argv) {
       config.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = flag_value("--swap-model")) {
       swap_path = v;
+    } else if (const char* v = flag_value("--store")) {
+      config.feature_store = std::make_shared<store::FeatureStore>(
+          store::StoreConfig{std::string(v)});
     } else {
       std::fprintf(stderr, "serve: unknown flag %s\n", argv[i]);
       return 2;
@@ -416,9 +506,26 @@ int dispatch(int argc, char** argv) {
       return cmd_serve(path, argc - 3, argv + 3);
     }
 #endif
-    const std::uint64_t seed =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
-    if (std::strcmp(command, "analyze") == 0) return cmd_analyze(path, seed);
+    if (std::strcmp(command, "store") == 0) {
+      if (argc < 4) return usage();
+      const std::size_t capacity =
+          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+      return cmd_store(argv[2], argv[3], capacity);
+    }
+    // Positional [seed] optionally followed by --store <dir>.
+    std::uint64_t seed = 42;
+    std::string store_dir;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--store") == 0) {
+        if (i + 1 >= argc) return usage();
+        store_dir = argv[++i];
+      } else {
+        seed = std::strtoull(argv[i], nullptr, 10);
+      }
+    }
+    if (std::strcmp(command, "analyze") == 0) {
+      return cmd_analyze(path, seed, store_dir);
+    }
     if (std::strcmp(command, "attack") == 0) return cmd_attack(path, seed);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

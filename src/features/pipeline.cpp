@@ -7,6 +7,7 @@
 #include "io/binary_io.h"
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
+#include "store/feature_store.h"
 
 namespace soteria::features {
 
@@ -141,6 +142,7 @@ FeaturePipeline FeaturePipeline::fit(
     pipeline.dbl_vocab_ = Vocabulary::build(dbl_corpus, config.top_k);
     pipeline.lbl_vocab_ = Vocabulary::build(lbl_corpus, config.top_k);
   }
+  pipeline.fingerprint_ = store::fingerprint_of(pipeline);
   return pipeline;
 }
 
@@ -220,7 +222,30 @@ FeaturePipeline FeaturePipeline::load(std::istream& in) {
   validate(pipeline.config_);
   pipeline.dbl_vocab_ = Vocabulary::load(in);
   pipeline.lbl_vocab_ = Vocabulary::load(in);
+  pipeline.fingerprint_ = store::fingerprint_of(pipeline);
   return pipeline;
+}
+
+SampleFeatures FeaturePipeline::extract_stored(
+    const cfg::Cfg& cfg, const math::Rng& fresh_rng,
+    store::FeatureStore* store) const {
+  store::FeatureStore* target =
+      store != nullptr ? store : feature_store_.get();
+  if (target == nullptr) {
+    math::Rng rng = fresh_rng;
+    return extract(cfg, rng);
+  }
+  // The key ties the entry to the exact extraction it replaces: the
+  // CFG's content, this pipeline's fitted state, and the walk stream
+  // (fresh_rng's construction seed — which fully determines the stream
+  // only because the generator has never been advanced).
+  const store::FeatureKey key{cfg::LabelingCache::content_hash(cfg),
+                              fingerprint_.value, fresh_rng.seed()};
+  if (auto cached = target->get(key)) return *std::move(cached);
+  math::Rng rng = fresh_rng;
+  SampleFeatures features = extract(cfg, rng);
+  target->put(key, features);
+  return features;
 }
 
 }  // namespace soteria::features

@@ -21,10 +21,15 @@
 #include "features/random_walk.h"
 #include "features/vocabulary.h"
 #include "math/rng.h"
+#include "store/fingerprint.h"
 
 namespace soteria::cfg {
 class LabelingCache;
 }  // namespace soteria::cfg
+
+namespace soteria::store {
+class FeatureStore;
+}  // namespace soteria::store
 
 namespace soteria::features {
 
@@ -95,6 +100,17 @@ class FeaturePipeline {
   [[nodiscard]] SampleFeatures extract(const cfg::Cfg& cfg,
                                        math::Rng& rng) const;
 
+  /// extract() through the persistent feature store. `fresh_rng` must be
+  /// a *fresh* (never-advanced) generator — typically a per-sample
+  /// `rng.child(i)` — because its construction seed is part of the store
+  /// key: a hit returns exactly the vectors a cold extraction with that
+  /// seed would produce, so results are bit-identical with the store on
+  /// or off. Consults `store` when non-null, else the installed
+  /// `feature_store()`; with neither, this is a plain cold extract.
+  [[nodiscard]] SampleFeatures extract_stored(
+      const cfg::Cfg& cfg, const math::Rng& fresh_rng,
+      store::FeatureStore* store = nullptr) const;
+
   [[nodiscard]] const Vocabulary& dbl_vocabulary() const noexcept {
     return dbl_vocab_;
   }
@@ -131,12 +147,33 @@ class FeaturePipeline {
     return labeling_cache_;
   }
 
+  /// Installs (nullptr: removes) the persistent feature store consulted
+  /// by extract_stored(). Like the labeling cache, this is a runtime
+  /// attachment, not model state: it is not persisted by save(), and
+  /// results are bit-identical with the store on or off.
+  void set_feature_store(std::shared_ptr<store::FeatureStore> store) noexcept {
+    feature_store_ = std::move(store);
+  }
+  [[nodiscard]] const std::shared_ptr<store::FeatureStore>& feature_store()
+      const noexcept {
+    return feature_store_;
+  }
+
+  /// Content fingerprint of this fitted pipeline (config + both
+  /// vocabularies); part of every feature-store key, so entries written
+  /// by a differently-trained pipeline can never be served. Zero for a
+  /// default-constructed (unfitted) pipeline.
+  [[nodiscard]] const store::PipelineFingerprint& fingerprint()
+      const noexcept {
+    return fingerprint_;
+  }
+
   /// Default-constructed unfitted pipeline (empty vocabularies); a
   /// placeholder until assigned from fit().
   FeaturePipeline() = default;
 
   /// Binary (de)serialization of the config and both vocabularies.
-  /// `load` throws std::runtime_error on a corrupt stream.
+  /// `load` throws core::Error{kCorruptModel} on a corrupt stream.
   void save(std::ostream& out) const;
   [[nodiscard]] static FeaturePipeline load(std::istream& in);
 
@@ -154,6 +191,9 @@ class FeaturePipeline {
   Vocabulary dbl_vocab_;
   Vocabulary lbl_vocab_;
   std::shared_ptr<cfg::LabelingCache> labeling_cache_;
+  std::shared_ptr<store::FeatureStore> feature_store_;
+  /// Set at the end of fit()/load(); zero while unfitted.
+  store::PipelineFingerprint fingerprint_;
 };
 
 }  // namespace soteria::features

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "io/binary_io.h"
+#include "soteria/error.h"
 
 namespace soteria::features {
 
@@ -94,7 +95,8 @@ Vocabulary Vocabulary::load(std::istream& in) {
   vocab.idf_ = io::read_vector<double>(in);
   if (vocab.frequencies_.size() != vocab.grams_.size() ||
       vocab.idf_.size() != vocab.grams_.size()) {
-    throw std::runtime_error("Vocabulary::load: inconsistent table sizes");
+    throw core::Error(core::ErrorCode::kCorruptModel,
+                      "Vocabulary::load: inconsistent table sizes");
   }
   for (std::size_t i = 0; i < vocab.grams_.size(); ++i) {
     vocab.index_.emplace(vocab.grams_[i], i);

@@ -63,8 +63,8 @@ class Vocabulary {
   /// a placeholder before fitting.
   Vocabulary() = default;
 
-  /// Binary (de)serialization. `load` throws std::runtime_error on a
-  /// corrupt or truncated stream.
+  /// Binary (de)serialization. `load` throws core::Error{kCorruptModel}
+  /// on a corrupt or truncated stream.
   void save(std::ostream& out) const;
   [[nodiscard]] static Vocabulary load(std::istream& in);
 

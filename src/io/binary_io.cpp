@@ -5,17 +5,23 @@ namespace soteria::io {
 void write_string(std::ostream& out, const std::string& value) {
   write_scalar<std::uint64_t>(out, value.size());
   out.write(value.data(), static_cast<std::streamsize>(value.size()));
-  if (!out) throw std::runtime_error("binary_io: write failed");
+  if (!out) {
+    throw core::Error(core::ErrorCode::kIoError, "binary_io: write failed");
+  }
 }
 
 std::string read_string(std::istream& in) {
   const auto size = read_scalar<std::uint64_t>(in);
   if (size > kMaxContainerElements) {
-    throw std::runtime_error("binary_io: implausible string size");
+    throw core::Error(core::ErrorCode::kCorruptModel,
+                      "binary_io: implausible string size");
   }
   std::string value(static_cast<std::size_t>(size), '\0');
   in.read(value.data(), static_cast<std::streamsize>(size));
-  if (!in) throw std::runtime_error("binary_io: truncated stream");
+  if (!in) {
+    throw core::Error(core::ErrorCode::kCorruptModel,
+                      "binary_io: truncated stream");
+  }
   return value;
 }
 

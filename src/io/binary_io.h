@@ -1,15 +1,20 @@
 // Minimal binary (de)serialization helpers used for model and pipeline
 // persistence. Streams are little-endian host format with explicit
 // sizes; readers validate every length before allocating.
+//
+// Failures carry the core::Error taxonomy: write failures throw
+// Error{kIoError}; truncated or implausible input throws
+// Error{kCorruptModel}. Both are std::runtime_errors.
 #pragma once
 
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "soteria/error.h"
 
 namespace soteria::io {
 
@@ -21,7 +26,9 @@ template <typename T>
 void write_scalar(std::ostream& out, const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-  if (!out) throw std::runtime_error("binary_io: write failed");
+  if (!out) {
+    throw core::Error(core::ErrorCode::kIoError, "binary_io: write failed");
+  }
 }
 
 /// Reads a trivially copyable scalar.
@@ -30,7 +37,10 @@ template <typename T>
   static_assert(std::is_trivially_copyable_v<T>);
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("binary_io: truncated stream");
+  if (!in) {
+    throw core::Error(core::ErrorCode::kCorruptModel,
+                      "binary_io: truncated stream");
+  }
   return value;
 }
 
@@ -41,7 +51,9 @@ void write_vector(std::ostream& out, std::span<const T> values) {
   write_scalar<std::uint64_t>(out, values.size());
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(T)));
-  if (!out) throw std::runtime_error("binary_io: write failed");
+  if (!out) {
+    throw core::Error(core::ErrorCode::kIoError, "binary_io: write failed");
+  }
 }
 
 template <typename T>
@@ -55,13 +67,17 @@ template <typename T>
   static_assert(std::is_trivially_copyable_v<T>);
   const auto count = read_scalar<std::uint64_t>(in);
   if (count > kMaxContainerElements) {
-    throw std::runtime_error("binary_io: implausible container size " +
-                             std::to_string(count));
+    throw core::Error(core::ErrorCode::kCorruptModel,
+                      "binary_io: implausible container size " +
+                          std::to_string(count));
   }
   std::vector<T> values(static_cast<std::size_t>(count));
   in.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(values.size() * sizeof(T)));
-  if (!in) throw std::runtime_error("binary_io: truncated stream");
+  if (!in) {
+    throw core::Error(core::ErrorCode::kCorruptModel,
+                      "binary_io: truncated stream");
+  }
   return values;
 }
 

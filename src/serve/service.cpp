@@ -130,8 +130,12 @@ void AnalysisService::worker_loop() {
     try {
       core::Verdict verdict = [&] {
         const obs::Span span("serve.request");
-        math::Rng rng = base_rng_.child(request.id);
-        return model->analyze(request.cfg, rng);
+        // The per-request child is fresh, which lets its seed key the
+        // feature store; the verdict is bit-identical either way.
+        core::AnalyzeOptions options;
+        options.feature_store = config_.feature_store;
+        return model->analyze(request.cfg, base_rng_.child(request.id),
+                              options);
       }();
       // Count *before* fulfilling the promise: a caller unblocked by
       // the future must observe the completion in stats().

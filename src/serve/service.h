@@ -79,6 +79,14 @@ struct ServiceConfig {
 
   /// Base seed: request i draws walks from Rng(seed).child(i).
   std::uint64_t seed = 0;
+
+  /// Persistent feature store shared by every worker (passed via
+  /// AnalyzeOptions on each request); nullptr defers to the store
+  /// installed on the published model's pipeline, if any. Because
+  /// entries are keyed by pipeline fingerprint, a hot-swapped model
+  /// with different fitted state naturally misses instead of reading
+  /// the old model's vectors.
+  std::shared_ptr<store::FeatureStore> feature_store;
 };
 
 /// Point-in-time counters (monotonic since construction, except

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "features/pipeline.h"
 #include "nn/autoencoder.h"
@@ -70,6 +71,18 @@ struct SoteriaConfig {
   /// num_threads, not persisted by save(). Memory per entry is
   /// O(nodes + edges) of the cached CFG.
   std::size_t labeling_cache_capacity = 512;
+
+  /// Root directory of the persistent feature store (store/
+  /// feature_store.h) to install on the trained pipeline; empty (the
+  /// default) disables it. Entries are keyed by (CFG content hash,
+  /// pipeline fingerprint, walk seed), so verdicts are bit-identical
+  /// with the store on or off and retrained models miss instead of
+  /// reading stale vectors. Like num_threads, not persisted by save().
+  std::string feature_store_dir;
+
+  /// Capacity (entries) of the feature store when `feature_store_dir`
+  /// is set; 0 = unbounded. Eviction is least-recently-used.
+  std::size_t feature_store_capacity = 4096;
 
   /// Enable the process-wide observability registry (obs/metrics.h)
   /// before training starts: stage timings, counters, and value

@@ -7,6 +7,7 @@
 #include "cfg/labeling_cache.h"
 #include "io/binary_io.h"
 #include "obs/trace.h"
+#include "store/feature_store.h"
 
 namespace soteria::core {
 
@@ -143,6 +144,15 @@ SoteriaSystem SoteriaSystem::train(
       dbl, lbl, config.cnn, config.classifier_training,
       config.classifier_learning_rate, classifier_rng);
 
+  // 5. Attach the persistent feature store (when configured) so
+  //    analyze_batch on this freshly trained system is warm-capable
+  //    immediately. Purely runtime state, like the labeling cache.
+  if (!config.feature_store_dir.empty()) {
+    system.pipeline_.set_feature_store(
+        std::make_shared<store::FeatureStore>(store::StoreConfig{
+            config.feature_store_dir, config.feature_store_capacity}));
+  }
+
   return system;
 }
 
@@ -173,6 +183,15 @@ Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg, math::Rng& rng) const {
   return analyze_features(extract(cfg, rng));
 }
 
+Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg,
+                               const math::Rng& fresh_rng,
+                               const AnalyzeOptions& options) const {
+  if (options.collect_metrics) obs::set_enabled(true);
+  const obs::Span span("soteria.analyze");
+  return analyze_features(pipeline_.extract_stored(
+      cfg, fresh_rng, options.feature_store.get()));
+}
+
 std::vector<Verdict> SoteriaSystem::analyze_batch(
     std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
     const AnalyzeOptions& options) const {
@@ -187,22 +206,11 @@ std::vector<Verdict> SoteriaSystem::analyze_batch(
           throw Error(ErrorCode::kDeadlineExceeded,
                       "SoteriaSystem::analyze_batch: deadline exceeded");
         }
-        math::Rng sample_rng = rng.child(i);
-        return analyze_features(extract(cfgs[i], sample_rng));
+        // rng.child(i) is fresh by construction, so the store key it
+        // induces is exactly the stream a cold extraction would use.
+        return analyze_features(pipeline_.extract_stored(
+            cfgs[i], rng.child(i), options.feature_store.get()));
       });
-}
-
-std::vector<Verdict> SoteriaSystem::analyze_batch(
-    std::span<const cfg::Cfg> cfgs, const math::Rng& rng) const {
-  return analyze_batch(cfgs, rng, AnalyzeOptions{});
-}
-
-std::vector<Verdict> SoteriaSystem::analyze_batch(
-    std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
-    std::size_t num_threads) const {
-  AnalyzeOptions options;
-  options.num_threads = num_threads;
-  return analyze_batch(cfgs, rng, options);
 }
 
 namespace {
@@ -249,8 +257,8 @@ SoteriaSystem SoteriaSystem::load(std::istream& in) try {
 } catch (const Error&) {
   throw;
 } catch (const std::exception& e) {
-  // The component loaders report corruption as untyped runtime_errors;
-  // surface one typed code to service callers.
+  // Anything a component loader still reports untyped (e.g. a config
+  // validation failure on decoded garbage) surfaces as one typed code.
   throw Error(ErrorCode::kCorruptModel,
               std::string("SoteriaSystem::load: ") + e.what());
 }

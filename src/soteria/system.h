@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -48,6 +49,13 @@ struct AnalyzeOptions {
   /// Enable the process-wide observability registry for this call (same
   /// one-way semantics as SoteriaConfig::collect_metrics).
   bool collect_metrics = false;
+
+  /// Persistent feature store consulted for this call, overriding the
+  /// pipeline's installed store (see SoteriaConfig::feature_store_dir);
+  /// nullptr defers to the installed one. Store hits skip extraction
+  /// but yield bit-identical verdicts: entries are keyed by (CFG
+  /// content, pipeline fingerprint, per-sample walk seed).
+  std::shared_ptr<store::FeatureStore> feature_store;
 };
 
 class SoteriaSystem {
@@ -63,8 +71,18 @@ class SoteriaSystem {
                              const SoteriaConfig& config);
 
   /// Extracts features (fresh walks from `rng`) and runs detector +
-  /// classifier.
+  /// classifier. Always a cold extraction: `rng` may be mid-stream, so
+  /// its state cannot key the feature store (and it must advance
+  /// identically whether or not a store is installed).
   [[nodiscard]] Verdict analyze(const cfg::Cfg& cfg, math::Rng& rng) const;
+
+  /// Single-sample analysis with options. `fresh_rng` must be a fresh
+  /// (never-advanced) generator — its construction seed keys the
+  /// feature store, exactly like one sample of analyze_batch; the
+  /// caller's generator is never advanced.
+  [[nodiscard]] Verdict analyze(const cfg::Cfg& cfg,
+                                const math::Rng& fresh_rng,
+                                const AnalyzeOptions& options) const;
 
   /// Runs detector + classifier on pre-extracted features. Safe for
   /// concurrent callers.
@@ -78,19 +96,7 @@ class SoteriaSystem {
   /// batch completes.
   [[nodiscard]] std::vector<Verdict> analyze_batch(
       std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
-      const AnalyzeOptions& options) const;
-
-  /// Legacy spelling of analyze_batch(cfgs, rng, AnalyzeOptions{}).
-  [[deprecated("use analyze_batch(cfgs, rng, AnalyzeOptions{})")]]
-  [[nodiscard]] std::vector<Verdict> analyze_batch(
-      std::span<const cfg::Cfg> cfgs, const math::Rng& rng) const;
-
-  /// Legacy spelling of analyze_batch with AnalyzeOptions::num_threads.
-  [[deprecated(
-      "use analyze_batch(cfgs, rng, AnalyzeOptions{.num_threads = n})")]]
-  [[nodiscard]] std::vector<Verdict> analyze_batch(
-      std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
-      std::size_t num_threads) const;
+      const AnalyzeOptions& options = {}) const;
 
   /// Feature extraction with this system's fitted pipeline.
   [[nodiscard]] features::SampleFeatures extract(const cfg::Cfg& cfg,

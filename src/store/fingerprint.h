@@ -1,0 +1,34 @@
+// Pipeline fingerprint: a content hash of everything that determines
+// what feature vectors a fitted `features::FeaturePipeline` produces —
+// the walk/gram/TF-IDF configuration and both fitted vocabularies
+// (grams, corpus frequencies, IDF weights), plus a format-version tag.
+//
+// The persistent feature store keys every entry by this fingerprint, so
+// a retrained or hot-swapped model whose pipeline differs in *any*
+// feature-relevant way can never be served another pipeline's cached
+// vectors — stale entries become clean misses, not wrong features.
+#pragma once
+
+#include <cstdint>
+
+namespace soteria::features {
+class FeaturePipeline;
+}  // namespace soteria::features
+
+namespace soteria::store {
+
+/// Opaque 64-bit digest of a fitted pipeline's feature semantics.
+/// Equal fingerprints => the pipelines produce identical vectors for
+/// identical (CFG, walk-seed) inputs.
+struct PipelineFingerprint {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] bool operator==(const PipelineFingerprint&) const = default;
+};
+
+/// Digests `pipeline` (config + both vocabularies, via its serialized
+/// byte stream) together with the fingerprint format version.
+[[nodiscard]] PipelineFingerprint fingerprint_of(
+    const features::FeaturePipeline& pipeline);
+
+}  // namespace soteria::store
