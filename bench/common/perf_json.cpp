@@ -46,7 +46,8 @@ void write_number(std::ostream& out, double v) {
 
 bool update_perf_json(const std::string& path, const std::string& section,
                       const std::map<std::string, double>& values) {
-  // Existing sections survive; only `section` is replaced/merged.
+  // Existing sections survive; `section` is replaced wholesale so keys
+  // from an older sweep shape can't linger next to the new ones.
   std::map<std::string, std::map<std::string, double>> document;
   {
     std::ifstream in(path);
@@ -67,8 +68,7 @@ bool update_perf_json(const std::string& path, const std::string& section,
       }
     }
   }
-  auto& target = document[section];
-  for (const auto& [key, value] : values) target[key] = value;
+  document[section] = values;
 
   std::ofstream out(path);
   if (!out) return false;

@@ -13,11 +13,12 @@
 
 namespace soteria::bench {
 
-/// Merges `values` into the `section` object of the JSON document at
-/// `path` (created if absent; other sections preserved) and rewrites
-/// the file with sorted keys and stable formatting. Returns false
-/// (without throwing) when the file cannot be written; a malformed
-/// existing document is replaced rather than merged.
+/// Replaces the `section` object of the JSON document at `path` with
+/// `values` (created if absent; other sections preserved — a bench owns
+/// its section, so stale keys from an older sweep shape never linger)
+/// and rewrites the file with sorted keys and stable formatting.
+/// Returns false (without throwing) when the file cannot be written; a
+/// malformed existing document is replaced rather than merged.
 bool update_perf_json(const std::string& path, const std::string& section,
                       const std::map<std::string, double>& values);
 

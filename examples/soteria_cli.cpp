@@ -13,11 +13,16 @@
 //       Write a fresh test corpus as raw firmware binaries into <dir>
 //       and print one path per line (pipe into `serve`).
 //   soteria_cli serve <model-path> [--queue-depth N] [--threads T]
-//                     [--seed S] [--swap-model <path>] [--store <dir>]
+//                     [--shards K] [--batch B] [--seed S]
+//                     [--swap-model <path>] [--store <dir>]
 //       Run the async analysis service: read firmware binary paths from
 //       stdin (one per line), stream one JSON verdict per line to
-//       stdout in submission order. The control line `!swap <path>`
-//       hot-swaps the model, as does SIGHUP when --swap-model is given.
+//       stdout in submission order. --shards runs K consistent-hash
+//       replicas (requests route by binary content hash); --batch
+//       bounds the per-worker micro-batch. Verdicts are bit-identical
+//       at every setting. The control line `!swap <path>` hot-swaps
+//       the model on every shard, as does SIGHUP when --swap-model is
+//       given.
 //   soteria_cli store <stats|compact|verify|clear> <dir> [capacity]
 //       Maintain a persistent feature store directory: print stats,
 //       evict down to [capacity] entries, re-validate every entry
@@ -56,6 +61,7 @@
 #include <utility>
 
 #include "serve/service.h"
+#include "serve/sharded_service.h"
 #endif
 
 namespace {
@@ -71,8 +77,8 @@ int usage() {
                "       soteria_cli corpus  <dir> [scale] [seed]\n"
 #ifdef SOTERIA_HAVE_SERVE
                "       soteria_cli serve   <model-path> [--queue-depth N]"
-               " [--threads T] [--seed S] [--swap-model <path>]"
-               " [--store <dir>]\n"
+               " [--threads T] [--shards K] [--batch B] [--seed S]"
+               " [--swap-model <path>] [--store <dir>]\n"
 #endif
                "       soteria_cli store   <stats|compact|verify|clear>"
                " <dir> [capacity]\n"
@@ -358,7 +364,8 @@ void print_outcome(PendingRequest& pending) {
 }
 
 int cmd_serve(const char* model_path, int argc, char** argv) {
-  serve::ServiceConfig config;
+  serve::ShardedServiceConfig config;
+  config.num_shards = 1;
   std::string swap_path;
   for (int i = 0; i < argc; ++i) {
     const auto flag_value = [&](const char* flag) -> const char* {
@@ -370,15 +377,19 @@ int cmd_serve(const char* model_path, int argc, char** argv) {
       return argv[++i];
     };
     if (const char* v = flag_value("--queue-depth")) {
-      config.queue_depth = std::strtoull(v, nullptr, 10);
+      config.shard.queue_depth = std::strtoull(v, nullptr, 10);
     } else if (const char* v = flag_value("--threads")) {
-      config.num_threads = std::strtoull(v, nullptr, 10);
+      config.shard.num_threads = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--shards")) {
+      config.num_shards = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--batch")) {
+      config.shard.max_batch = std::strtoull(v, nullptr, 10);
     } else if (const char* v = flag_value("--seed")) {
       config.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = flag_value("--swap-model")) {
       swap_path = v;
     } else if (const char* v = flag_value("--store")) {
-      config.feature_store = std::make_shared<store::FeatureStore>(
+      config.shard.feature_store = std::make_shared<store::FeatureStore>(
           store::StoreConfig{std::string(v)});
     } else {
       std::fprintf(stderr, "serve: unknown flag %s\n", argv[i]);
@@ -388,11 +399,14 @@ int cmd_serve(const char* model_path, int argc, char** argv) {
 
   auto model = std::make_shared<const core::SoteriaSystem>(
       core::SoteriaSystem::load_file(model_path));
-  serve::AnalysisService service(std::move(model), config);
+  serve::ShardedService service(std::move(model), config);
   std::fprintf(stderr,
-               "serving %s: %zu workers, queue depth %zu "
-               "(paths on stdin, `!swap <path>` to hot-swap)\n",
-               model_path, service.worker_count(), config.queue_depth);
+               "serving %s: %zu shard(s) x %zu workers, queue depth %zu, "
+               "micro-batch %zu (paths on stdin, `!swap <path>` to "
+               "hot-swap)\n",
+               model_path, service.shard_count(),
+               service.shard(0).worker_count(), config.shard.queue_depth,
+               config.shard.max_batch);
   if (!swap_path.empty()) std::signal(SIGHUP, handle_sighup);
 
   std::deque<PendingRequest> pending;
@@ -471,7 +485,7 @@ int cmd_serve(const char* model_path, int argc, char** argv) {
     pending.pop_front();
   }
   service.shutdown(serve::ShutdownPolicy::kDrain);
-  const auto stats = service.stats();
+  const auto stats = service.stats().total;
   std::fprintf(stderr,
                "served: %llu accepted, %llu completed, %llu rejected, "
                "%llu expired, %llu failed, %llu swaps\n",

@@ -20,6 +20,7 @@
 // lock handoff, so a lock-free ring would buy nothing here.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -78,6 +79,28 @@ class BoundedMpmcQueue {
     T value = std::move(items_.front());
     items_.pop_front();
     return value;
+  }
+
+  /// Blocks like pop(), then drains up to `max_items` queued items in
+  /// one lock hold — the micro-batching primitive: a consumer that
+  /// takes N items per wakeup costs one lock round-trip per *batch*
+  /// instead of one per request. Returns items in FIFO order; an empty
+  /// vector means the queue is closed and drained (the consumer's exit
+  /// signal). `max_items` of 0 is treated as 1.
+  [[nodiscard]] std::vector<T> pop_batch(std::size_t max_items) {
+    std::vector<T> batch;
+    std::unique_lock<std::mutex> lock(mutex_);
+    consumers_.wait(lock, [&] {
+      return (!paused_ && !items_.empty()) || (closed_ && items_.empty());
+    });
+    const std::size_t count =
+        std::min(std::max<std::size_t>(max_items, 1), items_.size());
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return batch;
   }
 
   /// Holds consumers (pop blocks even when items are queued). Producers

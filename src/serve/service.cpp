@@ -20,11 +20,11 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 
 AnalysisService::AnalysisService(
     std::shared_ptr<const core::SoteriaSystem> system, ServiceConfig config)
-    : config_(config),
-      worker_count_(runtime::resolve_threads(config.num_threads)),
-      base_rng_(config.seed),
+    : config_(std::move(config)),
+      worker_count_(runtime::resolve_threads(config_.num_threads)),
+      base_rng_(config_.seed),
       model_(std::move(system)),
-      queue_(config.queue_depth),
+      queue_(config_.queue_depth),
       pool_(worker_count_),
       dispatcher_([this] {
         // One long-lived parallel region whose bodies are the worker
@@ -33,32 +33,59 @@ AnalysisService::AnalysisService(
         pool_.parallel_for(worker_count_,
                            [this](std::size_t) { worker_loop(); });
       }) {
-  if (model_ == nullptr) {
+  if (model_ == nullptr || config_.max_batch == 0) {
     // Unblock the already-started workers before throwing.
     queue_.close();
     dispatcher_.join();
     throw core::Error(core::ErrorCode::kInvalidArgument,
-                      "AnalysisService: null system");
+                      model_ == nullptr
+                          ? "AnalysisService: null system"
+                          : "AnalysisService: max_batch must be positive");
   }
 }
 
 AnalysisService::~AnalysisService() { shutdown(config_.shutdown_policy); }
 
+Clock::time_point AnalysisService::default_deadline() const {
+  return config_.default_deadline.count() > 0
+             ? Clock::now() + config_.default_deadline
+             : Clock::time_point::max();
+}
+
 AnalysisService::Ticket AnalysisService::submit(cfg::Cfg cfg) {
-  const auto deadline =
-      config_.default_deadline.count() > 0
-          ? Clock::now() + config_.default_deadline
-          : Clock::time_point::max();
-  return submit_internal(std::move(cfg), deadline);
+  return submit_internal(std::make_shared<const cfg::Cfg>(std::move(cfg)),
+                         default_deadline(), std::nullopt);
+}
+
+AnalysisService::Ticket AnalysisService::submit(
+    std::shared_ptr<const cfg::Cfg> cfg) {
+  return submit_internal(std::move(cfg), default_deadline(), std::nullopt);
 }
 
 AnalysisService::Ticket AnalysisService::submit(cfg::Cfg cfg,
                                                 Clock::time_point deadline) {
-  return submit_internal(std::move(cfg), deadline);
+  return submit_internal(std::make_shared<const cfg::Cfg>(std::move(cfg)),
+                         deadline, std::nullopt);
+}
+
+AnalysisService::Ticket AnalysisService::submit(
+    std::shared_ptr<const cfg::Cfg> cfg, Clock::time_point deadline) {
+  return submit_internal(std::move(cfg), deadline, std::nullopt);
+}
+
+AnalysisService::Ticket AnalysisService::submit_keyed(
+    std::shared_ptr<const cfg::Cfg> cfg, Clock::time_point deadline,
+    std::uint64_t id) {
+  return submit_internal(std::move(cfg), deadline, id);
 }
 
 AnalysisService::Ticket AnalysisService::submit_internal(
-    cfg::Cfg cfg, Clock::time_point deadline) {
+    std::shared_ptr<const cfg::Cfg> cfg, Clock::time_point deadline,
+    std::optional<std::uint64_t> external_id) {
+  if (cfg == nullptr) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "AnalysisService::submit: null cfg");
+  }
   Ticket ticket;
   Request request;
   request.cfg = std::move(cfg);
@@ -73,11 +100,13 @@ AnalysisService::Ticket AnalysisService::submit_internal(
     if (!accepting_.load(std::memory_order_relaxed)) {
       ticket.status = core::ErrorCode::kShuttingDown;
     } else {
-      request.id = next_id_;
+      const std::uint64_t id = external_id ? *external_id : next_id_;
+      request.id = id;
       request.enqueued = Clock::now();
       switch (queue_.try_push(std::move(request))) {
         case PushStatus::kAccepted:
-          ticket.id = next_id_++;
+          if (!external_id) ++next_id_;
+          ticket.id = id;
           ticket.status = core::ErrorCode::kOk;
           ticket.verdict = std::move(verdict);
           break;
@@ -94,8 +123,12 @@ AnalysisService::Ticket AnalysisService::submit_internal(
   if (ticket.accepted()) {
     accepted_.fetch_add(1, std::memory_order_relaxed);
     registry.counter_add("serve.requests.accepted");
-    registry.gauge_set("serve.queue.depth",
-                       static_cast<double>(queue_.size()));
+    // queue_.size() takes the queue lock, so only pay for it when the
+    // registry is actually collecting.
+    if (registry.enabled()) {
+      registry.gauge_set("serve.queue.depth",
+                         static_cast<double>(queue_.size()));
+    }
   } else {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     registry.counter_add("serve.requests.rejected");
@@ -105,47 +138,98 @@ AnalysisService::Ticket AnalysisService::submit_internal(
 
 void AnalysisService::worker_loop() {
   auto& registry = obs::registry();
-  while (auto item = queue_.pop()) {
-    Request request = std::move(*item);
+  for (;;) {
+    std::vector<Request> batch = queue_.pop_batch(config_.max_batch);
+    if (batch.empty()) break;  // closed and drained
     const auto start = Clock::now();
-    registry.gauge_set("serve.queue.depth",
-                       static_cast<double>(queue_.size()));
-    registry.record("serve.queue.wait",
-                    seconds_between(request.enqueued, start));
-
-    // Expire queued work before it wastes a worker on inference.
-    if (start >= request.deadline) {
-      expired_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter_add("serve.requests.expired");
-      request.promise.set_exception(std::make_exception_ptr(core::Error(
-          core::ErrorCode::kDeadlineExceeded,
-          "AnalysisService: deadline passed while request was queued")));
-      continue;
+    if (registry.enabled()) {
+      registry.gauge_set("serve.queue.depth",
+                         static_cast<double>(queue_.size()));
+      registry.record("serve.batch.size",
+                      static_cast<double>(batch.size()));
+      for (const auto& request : batch) {
+        registry.record("serve.queue.wait",
+                        seconds_between(request.enqueued, start));
+      }
     }
+    batches_.fetch_add(1, std::memory_order_relaxed);
 
-    // The model is pinned for this request only: a concurrent
-    // swap_model publishes to later requests while this one finishes on
-    // the system it started with.
+    // Pin the published model once per batch: every request in the
+    // batch runs on the same system (no torn batches), and an
+    // in-flight batch finishes on the model it was drained under even
+    // when a hot swap lands mid-execution.
     const auto model = this->model();
+    if (config_.batch_hook) config_.batch_hook(batch.size());
+
+    // Deadline triage at drain time: requests whose deadline passed
+    // while queued are expired before the batch wastes inference on
+    // them — including requests drained alongside healthy ones.
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (auto& request : batch) {
+      if (start >= request.deadline) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        registry.counter_add("serve.requests.expired");
+        request.promise.set_exception(std::make_exception_ptr(core::Error(
+            core::ErrorCode::kDeadlineExceeded,
+            "AnalysisService: deadline passed while request was queued")));
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    if (live.empty()) continue;
+
+    // Each sample carries its own fresh child generator, which both
+    // keys the feature store and makes the verdict independent of how
+    // requests were packed into batches. num_threads = 1: the workers
+    // *are* the parallelism (and a nested region would serialize
+    // inline anyway).
+    core::AnalyzeOptions options;
+    options.feature_store = config_.feature_store;
+    options.num_threads = 1;
+    std::vector<const cfg::Cfg*> cfgs;
+    std::vector<math::Rng> rngs;
+    cfgs.reserve(live.size());
+    rngs.reserve(live.size());
+    for (const auto& request : live) {
+      cfgs.push_back(request.cfg.get());
+      rngs.push_back(base_rng_.child(request.id));
+    }
     try {
-      core::Verdict verdict = [&] {
-        const obs::Span span("serve.request");
-        // The per-request child is fresh, which lets its seed key the
-        // feature store; the verdict is bit-identical either way.
-        core::AnalyzeOptions options;
-        options.feature_store = config_.feature_store;
-        return model->analyze(request.cfg, base_rng_.child(request.id),
-                              options);
+      auto verdicts = [&] {
+        const obs::Span span("serve.batch");
+        return model->analyze_batch(cfgs, rngs, options);
       }();
-      // Count *before* fulfilling the promise: a caller unblocked by
-      // the future must observe the completion in stats().
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter_add("serve.requests.completed");
-      request.promise.set_value(std::move(verdict));
+      const auto end = Clock::now();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        // Count *before* fulfilling the promise: a caller unblocked by
+        // the future must observe the completion in stats().
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        registry.counter_add("serve.requests.completed");
+        registry.record("serve.request.e2e",
+                        seconds_between(live[i].enqueued, end));
+        live[i].promise.set_value(std::move(verdicts[i]));
+      }
     } catch (...) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter_add("serve.requests.failed");
-      request.promise.set_exception(std::current_exception());
+      // One throwing sample poisons the whole batch call; re-run each
+      // request alone so failures stay per-request (a neighbor's bad
+      // CFG must not fail your healthy one). Analysis is deterministic
+      // and store writes are idempotent, so the re-run is safe.
+      for (auto& request : live) {
+        try {
+          core::Verdict verdict = model->analyze(
+              *request.cfg, base_rng_.child(request.id), options);
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          registry.counter_add("serve.requests.completed");
+          registry.record("serve.request.e2e",
+                          seconds_between(request.enqueued, Clock::now()));
+          request.promise.set_value(std::move(verdict));
+        } catch (...) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          registry.counter_add("serve.requests.failed");
+          request.promise.set_exception(std::current_exception());
+        }
+      }
     }
   }
 }
@@ -214,6 +298,7 @@ ServiceStats AnalysisService::stats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_.size();
   return stats;
 }

@@ -1,7 +1,7 @@
 // Asynchronous analysis service: a trained SoteriaSystem behind a
-// bounded-queue, deadline-aware, hot-swappable request API — the
-// long-lived serving path the blocking analyze/analyze_batch calls
-// don't provide.
+// bounded-queue, deadline-aware, hot-swappable, micro-batching request
+// API — the long-lived serving path the blocking analyze/analyze_batch
+// calls don't provide.
 //
 // Contract highlights:
 //
@@ -13,17 +13,29 @@
 //    request i is analyzed with `Rng(config.seed).child(i)` — exactly
 //    the per-index split analyze_batch uses — so the verdict stream is
 //    bit-identical to a serial `analyze_batch` over the same CFGs in
-//    submission order, at any worker count.
+//    submission order, at any worker count, shard count (see
+//    ShardedService), or micro-batch size.
+//  * Micro-batching. A worker drains up to `max_batch` queued requests
+//    in one queue-lock hold and analyzes them as one
+//    `SoteriaSystem::analyze_batch` call, so the per-request cost of
+//    lock round-trips, gauge reads, and model pinning is amortized
+//    across the batch while the labeling cache and feature store do
+//    the per-sample work. Because every sample carries its own
+//    `child(id)` generator, batch composition never affects verdicts.
 //  * Deadlines. A request whose deadline passes while it waits in the
-//    queue is expired at dequeue (Error{kDeadlineExceeded}) before it
-//    wastes a worker on inference.
+//    queue is expired at drain time (Error{kDeadlineExceeded}) before
+//    it wastes a worker on inference — including requests drained into
+//    a batch alongside healthy ones.
 //  * Hot swap. `swap_model` atomically publishes a new trained system:
-//    in-flight requests finish on the model they started with, later
-//    requests see the new one. No lock is held during inference.
+//    the model is pinned once per drained batch, so an in-flight batch
+//    finishes entirely on the model it started with (never a torn
+//    batch) and later batches see the new one. No lock is held during
+//    inference.
 //  * Shutdown. `shutdown(kDrain)` stops intake and finishes every
 //    queued request; `shutdown(kCancel)` fails queued-but-unstarted
-//    requests with Error{kCancelled}. The destructor runs the
-//    configured policy.
+//    requests with Error{kCancelled}; a batch already drained by a
+//    worker always runs to completion under either policy. The
+//    destructor runs the configured policy.
 //
 // Workers run on the existing runtime::ThreadPool: a dispatcher thread
 // opens one parallel region whose bodies are persistent worker loops,
@@ -33,18 +45,23 @@
 // Observability (when the obs registry is enabled): gauge
 // `serve.queue.depth`; counters `serve.requests.{accepted,rejected,
 // expired,completed,cancelled,failed}` and `serve.model.swaps`;
-// histograms `t/serve.request` (inference latency) and
+// histograms `t/serve.batch` (batch inference latency),
+// `serve.batch.size` (requests per drained batch),
+// `serve.request.e2e` (submit-to-verdict seconds), and
 // `serve.queue.wait` (time spent queued, seconds).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cfg/cfg.h"
 #include "math/rng.h"
@@ -61,6 +78,21 @@ enum class ShutdownPolicy {
   kCancel,  ///< fail queued requests with Error{kCancelled}
 };
 
+/// Result of a submission attempt — shared by AnalysisService and the
+/// ShardedService front door. `verdict` is valid only when
+/// `accepted()`; it yields the Verdict or rethrows the request's
+/// failure (Error{kDeadlineExceeded}, Error{kCancelled}, or whatever
+/// inference threw).
+struct Ticket {
+  std::uint64_t id = 0;
+  core::ErrorCode status = core::ErrorCode::kOk;
+  std::future<core::Verdict> verdict;
+
+  [[nodiscard]] bool accepted() const noexcept {
+    return status == core::ErrorCode::kOk;
+  }
+};
+
 struct ServiceConfig {
   /// Maximum queued (accepted but not yet running) requests; submission
   /// `queue_depth + 1` is rejected with kQueueFull.
@@ -69,6 +101,12 @@ struct ServiceConfig {
   /// Worker threads (runtime::resolve_threads semantics: 0 = all
   /// hardware threads).
   std::size_t num_threads = 0;
+
+  /// Micro-batch bound: a worker drains up to this many queued requests
+  /// per wakeup and analyzes them as one batch. 1 disables batching;
+  /// verdicts are bit-identical at any setting. Zero is rejected with
+  /// Error{kInvalidArgument}.
+  std::size_t max_batch = 8;
 
   /// Deadline applied to submissions that don't carry their own;
   /// zero = no deadline.
@@ -87,6 +125,13 @@ struct ServiceConfig {
   /// with different fitted state naturally misses instead of reading
   /// the old model's vectors.
   std::shared_ptr<store::FeatureStore> feature_store;
+
+  /// Test-only hook: invoked by the draining worker after a batch is
+  /// taken off the queue and the model pinned, before the batch
+  /// executes (argument: batch size). Lets the micro-batch boundary
+  /// property tests land a hot swap or a shutdown deterministically
+  /// between drain and execute. Leave empty in production.
+  std::function<void(std::size_t)> batch_hook;
 };
 
 /// Point-in-time counters (monotonic since construction, except
@@ -99,28 +144,18 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;  ///< failed by a cancel-mode shutdown
   std::uint64_t failed = 0;     ///< inference threw
   std::uint64_t swaps = 0;      ///< models published via swap_model
+  std::uint64_t batches = 0;    ///< micro-batches drained by workers
   std::size_t queue_depth = 0;  ///< requests queued right now
 };
 
 class AnalysisService {
  public:
-  /// Result of a submission attempt. `verdict` is valid only when
-  /// `accepted()`; it yields the Verdict or rethrows the request's
-  /// failure (Error{kDeadlineExceeded}, Error{kCancelled}, or whatever
-  /// inference threw).
-  struct Ticket {
-    std::uint64_t id = 0;
-    core::ErrorCode status = core::ErrorCode::kOk;
-    std::future<core::Verdict> verdict;
-
-    [[nodiscard]] bool accepted() const noexcept {
-      return status == core::ErrorCode::kOk;
-    }
-  };
+  using Ticket = ::soteria::serve::Ticket;
 
   /// Starts `config.num_threads` workers immediately. Throws
-  /// core::Error{kInvalidArgument} for a null system; queue and thread
-  /// validation errors propagate from the underlying components.
+  /// core::Error{kInvalidArgument} for a null system or a zero
+  /// max_batch; queue and thread validation errors propagate from the
+  /// underlying components.
   explicit AnalysisService(std::shared_ptr<const core::SoteriaSystem> system,
                            ServiceConfig config = {});
 
@@ -130,14 +165,29 @@ class AnalysisService {
   AnalysisService(const AnalysisService&) = delete;
   AnalysisService& operator=(const AnalysisService&) = delete;
 
-  /// Non-blocking submission with the config's default deadline.
+  /// Non-blocking submission with the config's default deadline. The
+  /// by-value overloads copy the CFG once into shared ownership; hot
+  /// submitters should pass a shared_ptr to skip the copy entirely.
   [[nodiscard]] Ticket submit(cfg::Cfg cfg);
+  [[nodiscard]] Ticket submit(std::shared_ptr<const cfg::Cfg> cfg);
 
   /// Non-blocking submission with an explicit absolute deadline.
   [[nodiscard]] Ticket submit(cfg::Cfg cfg,
                               std::chrono::steady_clock::time_point deadline);
+  [[nodiscard]] Ticket submit(std::shared_ptr<const cfg::Cfg> cfg,
+                              std::chrono::steady_clock::time_point deadline);
 
-  /// Atomically publishes `system` to subsequent requests. Throws
+  /// Front-door entry: submission under a caller-allocated request id
+  /// (walks are drawn from Rng(seed).child(id)). ShardedService uses
+  /// this to keep ids dense *across* shards; a service must not mix
+  /// keyed and plain submissions (ids could collide and the dense-id
+  /// invariant would belong to nobody). Admission control, stats, and
+  /// deadlines behave exactly like submit().
+  [[nodiscard]] Ticket submit_keyed(
+      std::shared_ptr<const cfg::Cfg> cfg,
+      std::chrono::steady_clock::time_point deadline, std::uint64_t id);
+
+  /// Atomically publishes `system` to subsequent batches. Throws
   /// core::Error{kInvalidArgument} for null.
   void swap_model(std::shared_ptr<const core::SoteriaSystem> system);
 
@@ -170,14 +220,18 @@ class AnalysisService {
  private:
   struct Request {
     std::uint64_t id = 0;
-    cfg::Cfg cfg;
+    std::shared_ptr<const cfg::Cfg> cfg;
     std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point enqueued;
     std::promise<core::Verdict> promise;
   };
 
   [[nodiscard]] Ticket submit_internal(
-      cfg::Cfg cfg, std::chrono::steady_clock::time_point deadline);
+      std::shared_ptr<const cfg::Cfg> cfg,
+      std::chrono::steady_clock::time_point deadline,
+      std::optional<std::uint64_t> external_id);
+  [[nodiscard]] std::chrono::steady_clock::time_point default_deadline()
+      const;
   void worker_loop();
 
   ServiceConfig config_;
@@ -208,6 +262,7 @@ class AnalysisService {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> batches_{0};
 
   runtime::ThreadPool pool_;
   std::thread dispatcher_;

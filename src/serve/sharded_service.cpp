@@ -1,0 +1,204 @@
+#include "serve/sharded_service.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cfg/labeling_cache.h"
+#include "math/rng.h"
+#include "obs/metrics.h"
+
+namespace soteria::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Salt decorrelating ring points from anything else split_mix64 is
+/// used for (RNG child derivation, store sharding).
+constexpr std::uint64_t kRingSalt = 0x53484152444e4721ULL;  // "SHARDNG!"
+
+}  // namespace
+
+HashRing::HashRing(std::size_t shard_count, std::size_t virtual_nodes)
+    : shard_count_(shard_count) {
+  if (shard_count == 0) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "HashRing: shard_count must be positive");
+  }
+  if (virtual_nodes == 0) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "HashRing: virtual_nodes must be positive");
+  }
+  points_.reserve(shard_count * virtual_nodes);
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    // Each shard's points depend only on its own index, never on the
+    // total shard count — the property that makes ring growth move
+    // keys only to the new shard.
+    const std::uint64_t shard_salt = math::split_mix64(kRingSalt ^ shard);
+    for (std::size_t vnode = 0; vnode < virtual_nodes; ++vnode) {
+      points_.emplace_back(math::split_mix64(shard_salt ^ (vnode + 1)),
+                           static_cast<std::uint32_t>(shard));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::shard_of(std::uint64_t content_hash) const noexcept {
+  // Re-mix the content hash so clustered inputs spread over the ring.
+  const std::uint64_t key = math::split_mix64(content_hash);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key, std::numeric_limits<std::uint32_t>::max()));
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+ShardedService::ShardedService(
+    std::shared_ptr<const core::SoteriaSystem> system,
+    ShardedServiceConfig config)
+    : config_(std::move(config)),
+      ring_(config_.num_shards, config_.virtual_nodes),
+      model_(std::move(system)) {
+  if (model_ == nullptr) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "ShardedService: null system");
+  }
+  if (!config_.shard_stores.empty() &&
+      config_.shard_stores.size() != config_.num_shards) {
+    throw core::Error(
+        core::ErrorCode::kInvalidArgument,
+        "ShardedService: shard_stores must be empty or hold one store "
+        "per shard");
+  }
+  replicas_.reserve(config_.num_shards);
+  accepted_counters_.reserve(config_.num_shards);
+  rejected_counters_.reserve(config_.num_shards);
+  for (std::size_t shard = 0; shard < config_.num_shards; ++shard) {
+    ServiceConfig replica_config = config_.shard;
+    replica_config.seed = config_.seed;
+    if (!config_.shard_stores.empty()) {
+      replica_config.feature_store = config_.shard_stores[shard];
+    }
+    replicas_.push_back(std::make_unique<AnalysisService>(
+        model_, std::move(replica_config)));
+    const std::string prefix = "serve.shard" + std::to_string(shard);
+    accepted_counters_.push_back(prefix + ".requests.accepted");
+    rejected_counters_.push_back(prefix + ".requests.rejected");
+  }
+}
+
+ShardedService::~ShardedService() {
+  shutdown(config_.shard.shutdown_policy);
+}
+
+ShardedService::Ticket ShardedService::submit(cfg::Cfg cfg) {
+  return submit(std::make_shared<const cfg::Cfg>(std::move(cfg)));
+}
+
+ShardedService::Ticket ShardedService::submit(
+    std::shared_ptr<const cfg::Cfg> cfg) {
+  const auto deadline = config_.shard.default_deadline.count() > 0
+                            ? Clock::now() + config_.shard.default_deadline
+                            : Clock::time_point::max();
+  return submit_internal(std::move(cfg), deadline);
+}
+
+ShardedService::Ticket ShardedService::submit(
+    std::shared_ptr<const cfg::Cfg> cfg, Clock::time_point deadline) {
+  return submit_internal(std::move(cfg), deadline);
+}
+
+ShardedService::Ticket ShardedService::submit_internal(
+    std::shared_ptr<const cfg::Cfg> cfg, Clock::time_point deadline) {
+  if (cfg == nullptr) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "ShardedService::submit: null cfg");
+  }
+  // Routing is computed outside the id lock — it depends only on
+  // content, not on submission order.
+  const std::size_t shard =
+      ring_.shard_of(cfg::LabelingCache::content_hash(*cfg));
+  Ticket ticket;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    ticket = replicas_[shard]->submit_keyed(std::move(cfg), deadline,
+                                            next_id_);
+    if (ticket.accepted()) ++next_id_;
+  }
+  obs::registry().counter_add(ticket.accepted() ? accepted_counters_[shard]
+                                                : rejected_counters_[shard]);
+  return ticket;
+}
+
+std::size_t ShardedService::shard_for(const cfg::Cfg& cfg) const noexcept {
+  return ring_.shard_of(cfg::LabelingCache::content_hash(cfg));
+}
+
+void ShardedService::swap_model(
+    std::shared_ptr<const core::SoteriaSystem> system) {
+  if (system == nullptr) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "ShardedService::swap_model: null system");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(model_mutex_);
+    model_ = system;
+  }
+  for (auto& replica : replicas_) replica->swap_model(system);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const core::SoteriaSystem> ShardedService::swap_model_file(
+    const std::string& path) {
+  auto fresh = std::make_shared<const core::SoteriaSystem>(
+      core::SoteriaSystem::load_file(path));
+  swap_model(fresh);
+  return fresh;
+}
+
+std::shared_ptr<const core::SoteriaSystem> ShardedService::model() const {
+  const std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_;
+}
+
+void ShardedService::pause() {
+  for (auto& replica : replicas_) replica->pause();
+}
+
+void ShardedService::resume() {
+  for (auto& replica : replicas_) replica->resume();
+}
+
+void ShardedService::shutdown(ShutdownPolicy policy) {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Shard by shard: each replica stops its own intake, applies the
+  // policy to its queue, and joins its workers. A submission racing
+  // the teardown either lands before its target shard's shutdown (and
+  // is drained/cancelled by the policy) or is rejected kShuttingDown.
+  for (auto& replica : replicas_) replica->shutdown(policy);
+}
+
+ShardedStats ShardedService::stats() const {
+  ShardedStats stats;
+  stats.shards.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    stats.shards.push_back(replica->stats());
+    const auto& s = stats.shards.back();
+    stats.total.accepted += s.accepted;
+    stats.total.rejected += s.rejected;
+    stats.total.expired += s.expired;
+    stats.total.completed += s.completed;
+    stats.total.cancelled += s.cancelled;
+    stats.total.failed += s.failed;
+    stats.total.batches += s.batches;
+    stats.total.queue_depth += s.queue_depth;
+  }
+  // One front-door swap publishes to every replica; report publishes,
+  // not replica notifications.
+  stats.total.swaps = swaps_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace soteria::serve

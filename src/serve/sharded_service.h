@@ -1,0 +1,192 @@
+// Multi-replica serving front door: consistent-hash request routing
+// over independent AnalysisService shards.
+//
+// Why sharding: a single AnalysisService funnels every request through
+// one bounded queue and one submit mutex, and every worker shares one
+// labeling cache and one feature store. `ShardedService` runs N fully
+// independent replicas — each with its own queue, workers, and
+// (optionally) its own feature store — and routes each request by the
+// *binary content hash* of its CFG over a consistent-hash ring. The
+// same binary always lands on the same shard, so each shard's labeling
+// cache and feature store see a stable subset of the corpus and stay
+// hot; scaling the fleet from k to k+1 shards only moves the keys
+// claimed by the new shard (the classic consistent-hashing property,
+// asserted by the tests), so a resize keeps most caches warm.
+//
+// Determinism: the front door allocates one *global* dense id sequence
+// 0, 1, 2, ... across all shards and submits each request under its
+// global id (AnalysisService::submit_keyed), and every replica derives
+// request generators from the same base seed. Verdict i is therefore
+// `Rng(seed).child(i)` — bit-identical to a serial
+// `SoteriaSystem::analyze_batch` over the accepted CFGs in submission
+// order, at any shard count, worker count, or micro-batch size. The
+// id is allocated and enqueued under one front-door mutex so a
+// rejected submission (per-shard backpressure, kQueueFull) never
+// burns an id and the accepted sequence stays dense.
+//
+// Observability: per-shard counters `serve.shard<k>.requests.
+// {accepted,rejected}` on top of each replica's own serve.* metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace soteria::serve {
+
+/// Consistent-hash ring mapping 64-bit content hashes onto
+/// `shard_count` shards via `virtual_nodes` ring points per shard.
+/// Routing is a pure function of (hash, shard_count, virtual_nodes):
+/// stable across processes and restarts. Growing a k-shard ring to
+/// k+1 shards moves keys only *to* the new shard.
+class HashRing {
+ public:
+  /// Throws core::Error{kInvalidArgument} when either count is zero.
+  HashRing(std::size_t shard_count, std::size_t virtual_nodes);
+
+  [[nodiscard]] std::size_t shard_of(std::uint64_t content_hash) const
+      noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shard_count_;
+  }
+
+ private:
+  std::size_t shard_count_;
+  /// (ring point, shard) sorted by point; lookup is the first point
+  /// strictly greater than the hashed key, wrapping at the end.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+struct ShardedServiceConfig {
+  /// Independent AnalysisService replicas behind the front door.
+  std::size_t num_shards = 2;
+
+  /// Ring points per shard; more points = smoother key balance.
+  std::size_t virtual_nodes = 64;
+
+  /// Base seed for the *global* id sequence: request i (front-door id)
+  /// draws walks from Rng(seed).child(i) on whichever shard it lands.
+  /// Overrides `shard.seed` on every replica.
+  std::uint64_t seed = 0;
+
+  /// Per-replica template (queue depth, workers, micro-batch bound,
+  /// default deadline, shutdown policy apply to each shard
+  /// independently — total capacity is num_shards * queue_depth).
+  ServiceConfig shard;
+
+  /// Optional per-shard feature stores (keeps each shard's store hot
+  /// for exactly the keys the ring routes to it). Must be empty or
+  /// hold exactly num_shards entries; when empty, every replica shares
+  /// `shard.feature_store` (which may be null).
+  std::vector<std::shared_ptr<store::FeatureStore>> shard_stores;
+};
+
+/// Aggregate + per-shard serving counters.
+struct ShardedStats {
+  ServiceStats total;  ///< field-wise sum over shards (swaps: front door)
+  std::vector<ServiceStats> shards;
+};
+
+class ShardedService {
+ public:
+  using Ticket = ::soteria::serve::Ticket;
+
+  /// Starts every shard's workers immediately. Throws
+  /// core::Error{kInvalidArgument} for a null system, zero shards or
+  /// virtual nodes, or a shard_stores size mismatch.
+  explicit ShardedService(std::shared_ptr<const core::SoteriaSystem> system,
+                          ShardedServiceConfig config = {});
+
+  /// Runs shutdown(config().shard.shutdown_policy) if still up.
+  ~ShardedService();
+
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Non-blocking submission routed by the CFG's content hash; the
+  /// ticket's id is the global (cross-shard) request id. Rejection
+  /// (kQueueFull) reflects the *target shard's* queue — other shards
+  /// may have room, but the same binary always routes to the same
+  /// shard, so retrying is the only way to keep its caches hot.
+  [[nodiscard]] Ticket submit(cfg::Cfg cfg);
+  [[nodiscard]] Ticket submit(std::shared_ptr<const cfg::Cfg> cfg);
+  [[nodiscard]] Ticket submit(std::shared_ptr<const cfg::Cfg> cfg,
+                              std::chrono::steady_clock::time_point deadline);
+
+  /// The shard the ring routes this CFG (or raw content hash) to.
+  [[nodiscard]] std::size_t shard_for(const cfg::Cfg& cfg) const noexcept;
+  [[nodiscard]] std::size_t shard_for_hash(std::uint64_t content_hash) const
+      noexcept {
+    return ring_.shard_of(content_hash);
+  }
+
+  /// Publishes `system` to every shard (each in-flight batch finishes
+  /// on its pinned model). Throws core::Error{kInvalidArgument} for
+  /// null.
+  void swap_model(std::shared_ptr<const core::SoteriaSystem> system);
+
+  /// Loads a trained system from `path` and publishes it everywhere.
+  std::shared_ptr<const core::SoteriaSystem> swap_model_file(
+      const std::string& path);
+
+  /// The currently published model.
+  [[nodiscard]] std::shared_ptr<const core::SoteriaSystem> model() const;
+
+  /// Maintenance valve across all shards.
+  void pause();
+  void resume();
+
+  /// Stops intake on every shard and applies `policy` to queued work.
+  /// Idempotent; the first policy wins.
+  void shutdown(ShutdownPolicy policy);
+
+  [[nodiscard]] ShardedStats stats() const;
+  [[nodiscard]] const ShardedServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return replicas_.size();
+  }
+  /// Direct access to one replica (tests, per-shard maintenance).
+  [[nodiscard]] AnalysisService& shard(std::size_t index) {
+    return *replicas_.at(index);
+  }
+  [[nodiscard]] const AnalysisService& shard(std::size_t index) const {
+    return *replicas_.at(index);
+  }
+
+ private:
+  [[nodiscard]] Ticket submit_internal(
+      std::shared_ptr<const cfg::Cfg> cfg,
+      std::chrono::steady_clock::time_point deadline);
+
+  ShardedServiceConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<AnalysisService>> replicas_;
+  /// Pre-built per-shard counter names so the submit hot path never
+  /// formats a string.
+  std::vector<std::string> accepted_counters_;
+  std::vector<std::string> rejected_counters_;
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const core::SoteriaSystem> model_;
+
+  /// Guards the global id sequence: the id is allocated and handed to
+  /// the target shard in one step, so rejected submissions never burn
+  /// an id and accepted ids stay dense in submission order.
+  std::mutex submit_mutex_;
+  std::uint64_t next_id_ = 0;  // guarded by submit_mutex_
+
+  std::atomic<std::uint64_t> swaps_{0};
+
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;  // guarded by shutdown_mutex_
+};
+
+}  // namespace soteria::serve

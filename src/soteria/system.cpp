@@ -195,6 +195,32 @@ Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg,
 std::vector<Verdict> SoteriaSystem::analyze_batch(
     std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
     const AnalyzeOptions& options) const {
+  // rng.child(i) is fresh by construction, so the store key it induces
+  // is exactly the stream a cold extraction would use.
+  std::vector<const cfg::Cfg*> pointers;
+  std::vector<math::Rng> rngs;
+  pointers.reserve(cfgs.size());
+  rngs.reserve(cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    pointers.push_back(&cfgs[i]);
+    rngs.push_back(rng.child(i));
+  }
+  return analyze_batch(pointers, rngs, options);
+}
+
+std::vector<Verdict> SoteriaSystem::analyze_batch(
+    std::span<const cfg::Cfg* const> cfgs, std::span<const math::Rng> rngs,
+    const AnalyzeOptions& options) const {
+  if (cfgs.size() != rngs.size()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "SoteriaSystem::analyze_batch: cfgs/rngs size mismatch");
+  }
+  for (const auto* cfg : cfgs) {
+    if (cfg == nullptr) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "SoteriaSystem::analyze_batch: null cfg");
+    }
+  }
   if (options.collect_metrics) obs::set_enabled(true);
   const std::size_t threads =
       options.num_threads.value_or(config_.num_threads);
@@ -206,10 +232,8 @@ std::vector<Verdict> SoteriaSystem::analyze_batch(
           throw Error(ErrorCode::kDeadlineExceeded,
                       "SoteriaSystem::analyze_batch: deadline exceeded");
         }
-        // rng.child(i) is fresh by construction, so the store key it
-        // induces is exactly the stream a cold extraction would use.
         return analyze_features(pipeline_.extract_stored(
-            cfgs[i], rng.child(i), options.feature_store.get()));
+            *cfgs[i], rngs[i], options.feature_store.get()));
       });
 }
 

@@ -98,6 +98,20 @@ class SoteriaSystem {
       std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
       const AnalyzeOptions& options = {}) const;
 
+  /// Micro-batch entry point: analyzes `*cfgs[i]` with the *fresh*
+  /// generator `rngs[i]` (one per sample; typically `base.child(id)`).
+  /// This is the hot path the serving layer drains request batches
+  /// into — pointer-based so queued requests are analyzed without
+  /// copying their CFGs, and explicitly seeded per sample so a batch
+  /// assembled from any interleaving of request ids reproduces the
+  /// serial analyze_batch verdict for each id exactly. The span-based
+  /// overload above delegates here with `rngs[i] = rng.child(i)`.
+  /// Throws Error{kInvalidArgument} on size mismatch or a null CFG.
+  [[nodiscard]] std::vector<Verdict> analyze_batch(
+      std::span<const cfg::Cfg* const> cfgs,
+      std::span<const math::Rng> rngs,
+      const AnalyzeOptions& options = {}) const;
+
   /// Feature extraction with this system's fitted pipeline.
   [[nodiscard]] features::SampleFeatures extract(const cfg::Cfg& cfg,
                                                  math::Rng& rng) const;

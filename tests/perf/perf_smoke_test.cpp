@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "cfg/labeling_cache.h"
@@ -14,6 +17,8 @@
 #include "graph/centrality.h"
 #include "graph/generators.h"
 #include "math/rng.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace soteria {
 namespace {
@@ -67,6 +72,84 @@ TEST(PerfSmoke, CachedExtractionWorkload) {
   EXPECT_EQ(cache->stats().misses, corpus.size());
   EXPECT_EQ(cache->stats().hits, 2 * corpus.size());
   EXPECT_EQ(cache->stats().evictions, 0U);
+}
+
+TEST(PerfSmoke, HistogramQuantilesAreOrderedAndBounded) {
+  // perf_serve reports its p50/p99 latencies through
+  // HistogramData::quantile; pin the properties those numbers rely on.
+  obs::HistogramData histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.record(i * 0.001);  // 1ms..1s
+  const double p50 = histogram.quantile(0.50);
+  const double p99 = histogram.quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, histogram.max);
+  EXPECT_GE(p50, histogram.min);
+}
+
+/// The keys perf_serve records per (workers, shards, batch) combination.
+const char* const kServeMetrics[] = {
+    "throughput_rps", "e2e_p50_ms", "e2e_p99_ms", "queue_wait_p50_ms",
+    "queue_wait_p99_ms"};
+
+TEST(PerfSmoke, ServeSweepJsonSchemaParses) {
+  // A synthetic document in the exact shape perf_serve writes: the
+  // parse side of the schema must keep accepting it.
+  std::ostringstream doc;
+  doc << "{\n  \"perf_serve\": {\n    \"hardware_threads\": 8";
+  for (const char* metric : kServeMetrics) {
+    doc << ",\n    \"w4_s2_b16_" << metric << "\": 1.5";
+  }
+  doc << "\n  }\n}\n";
+
+  const auto parsed = obs::json::parse(doc.str());
+  const auto& section = parsed.as_object().at("perf_serve").as_object();
+  EXPECT_EQ(section.at("hardware_threads").as_number(), 8.0);
+  for (const char* metric : kServeMetrics) {
+    const auto& value = section.at("w4_s2_b16_" + std::string(metric));
+    ASSERT_EQ(value.type(), obs::json::Value::Type::kNumber) << metric;
+    EXPECT_EQ(value.as_number(), 1.5) << metric;
+  }
+}
+
+TEST(PerfSmoke, RecordedServeSweepHasTheNewSchema) {
+  // When a BENCH_perf.json is reachable (running from the build tree
+  // or the repo root), its perf_serve section must carry the sweep's
+  // current key shape — stale t*_q* keys from the old sweep mean the
+  // bench and its consumers have drifted apart.
+  std::string contents;
+  for (const char* candidate :
+       {"BENCH_perf.json", "../BENCH_perf.json", "../../BENCH_perf.json"}) {
+    std::ifstream in(candidate);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      contents = buffer.str();
+      break;
+    }
+  }
+  if (contents.empty()) {
+    GTEST_SKIP() << "no BENCH_perf.json in reach; bench not yet run here";
+  }
+
+  const auto parsed = obs::json::parse(contents);
+  const auto& document = parsed.as_object();
+  const auto it = document.find("perf_serve");
+  if (it == document.end()) {
+    GTEST_SKIP() << "BENCH_perf.json has no perf_serve section yet";
+  }
+  const auto& section = it->second.as_object();
+  ASSERT_TRUE(section.count("hardware_threads"));
+  EXPECT_GE(section.at("hardware_threads").as_number(), 1.0);
+  for (const char* metric : kServeMetrics) {
+    const std::string key = "w1_s1_b16_" + std::string(metric);
+    ASSERT_TRUE(section.count(key)) << key;
+    EXPECT_GE(section.at(key).as_number(), 0.0) << key;
+  }
+  // The rewrite replaced the section wholesale: no stale keys.
+  for (const auto& [key, value] : section) {
+    EXPECT_NE(key.rfind("t1_q", 0), 0U) << "stale key " << key;
+  }
 }
 
 }  // namespace

@@ -131,6 +131,10 @@ TEST_F(ServiceFixture, VerdictStreamBitIdenticalToSerialAnalyzeBatch) {
   EXPECT_EQ(stats.completed, cfgs.size());
   EXPECT_EQ(stats.rejected, 0U);
   EXPECT_EQ(stats.expired, 0U);
+  // Every completion flowed through a drained micro-batch, and no batch
+  // can hold more requests than were ever submitted.
+  EXPECT_GE(stats.batches, 1U);
+  EXPECT_LE(stats.batches, cfgs.size());
 }
 
 TEST_F(ServiceFixture, VerdictsInvariantAcrossWorkerCounts) {
@@ -432,8 +436,17 @@ TEST_F(ServiceFixture, ServeMetricsAreRecorded) {
 
   EXPECT_EQ(snapshot.counters.at("serve.requests.accepted"), cfgs.size());
   EXPECT_EQ(snapshot.counters.at("serve.requests.completed"), cfgs.size());
-  EXPECT_EQ(snapshot.histograms.at("t/serve.request").count, cfgs.size());
+  // Batch-level instrumentation: at least one drained batch, and the
+  // per-batch sizes must add up to exactly the requests served.
+  const auto& batch_span = snapshot.histograms.at("t/serve.batch");
+  EXPECT_GE(batch_span.count, 1U);
+  const auto& batch_size = snapshot.histograms.at("serve.batch.size");
+  EXPECT_EQ(batch_size.count, batch_span.count);
+  EXPECT_EQ(batch_size.sum, static_cast<double>(cfgs.size()));
+  // Per-request instrumentation: one queue-wait and one end-to-end
+  // sample per completed request.
   EXPECT_EQ(snapshot.histograms.at("serve.queue.wait").count, cfgs.size());
+  EXPECT_EQ(snapshot.histograms.at("serve.request.e2e").count, cfgs.size());
   EXPECT_TRUE(snapshot.gauges.count("serve.queue.depth"));
 }
 
