@@ -2,11 +2,19 @@
 // whole-graph properties, and CFG extraction across graph sizes.
 //
 // After the google-benchmark suites, main() runs the centrality
-// scaling sweep: the fused single-pass implementation across graph
-// sizes (~1e2..1e4 nodes) and thread counts (1/2/4/8), verifying the
-// thread-count determinism contract on every cell, printing a table to
-// stdout and bench_results/perf_centrality.txt, and recording the cell
-// timings in the repo-root BENCH_perf.json (section "perf_graph").
+// scaling sweep on firmware-shaped CFGs (the workload the sampled
+// approximation exists for): the exact fused parallel Brandes at
+// n in {1000, 10000} x threads {1,2,4,8} plus a t=1 anchor at
+// n=50,000, and the sampled-pivot approximate path at
+// n in {10000, 50000} x threads {1,2,4,8}. Every cell re-checks the
+// determinism contracts before its timing is trusted — parallel runs
+// bit-identical to t=1, and the approximate path bit-stable under a
+// repeated same-seed run — and the approximate path must clear a
+// >=5x speedup floor over exact at n=10,000. Any violation makes the
+// process exit non-zero. The table goes to stdout and
+// bench_results/perf_centrality.txt; cell timings land in the
+// repo-root BENCH_perf.json (section "perf_graph") under distinct
+// "exact.*" and "approx.*" keys so the two paths never alias.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -112,65 +120,147 @@ void BM_GeaCombine(benchmark::State& state) {
 }
 BENCHMARK(BM_GeaCombine);
 
-/// Fused-centrality scaling sweep. Each (nodes, threads) cell times
-/// `centrality_scores` on the same fixed graph; the 1-thread result is
-/// the determinism reference every other thread count must match
-/// bit-for-bit before its timing is trusted.
-void run_centrality_sweep() {
-  const std::vector<std::size_t> node_counts{100, 1000, 10000};
-  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+/// Firmware-shaped sweep graph (fixed seed: every cell and every run
+/// times the identical graph).
+graph::DiGraph make_firmware(std::size_t n) {
+  math::Rng rng(90210);
+  return graph::firmware_like_cfg(n, rng);
+}
+
+/// Exact-vs-approximate centrality scaling sweep; see the file header
+/// for the cell grid and the contracts each cell re-checks. Returns
+/// false if any determinism contract or the n=10,000 speedup floor is
+/// violated.
+[[nodiscard]] bool run_centrality_sweep() {
+  const std::vector<std::size_t> all_threads{1, 2, 4, 8};
+  constexpr double kMinSpeedupAt10k = 5.0;
 
   std::ostringstream table;
-  table << "== fused centrality scaling (ms per full graph) ==\n";
-  table << "  nodes      edges        t=1        t=2        t=4        t=8"
-        << "    speedup(t=8)\n";
-
+  table << "== centrality scaling, firmware-shaped CFGs"
+        << " (ms per full graph) ==\n"
+        << "  mode     nodes      edges  pivots        t=1        t=2"
+        << "        t=4        t=8\n";
   std::map<std::string, double> json_values;
-  bool all_deterministic = true;
+  bool ok = true;
 
-  for (std::size_t n : node_counts) {
-    const auto g = make_graph(n);
+  const auto time_once = [](const graph::DiGraph& g,
+                            const graph::CentralityOptions& options,
+                            graph::CentralityScores& scores) {
+    const auto start = std::chrono::steady_clock::now();
+    scores = graph::centrality_scores(g, options);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  // Runs one (mode, n) row over `threads`, re-checking the thread
+  // bit-identity contract on every cell and (in approximate mode) the
+  // same-seed bit-stability contract once per row. Returns the t=1
+  // cell time.
+  const auto sweep_row = [&](const graph::DiGraph& g, std::size_t n,
+                             bool approximate,
+                             const std::vector<std::size_t>& threads) {
+    const std::string mode = approximate ? "approx" : "exact";
+    const std::string prefix = mode + ".n" + std::to_string(n);
     // Fewer repetitions on the big graphs; the per-run time dwarfs
     // timer noise there.
     const int reps = n >= 10000 ? 1 : (n >= 1000 ? 3 : 20);
 
     graph::CentralityScores reference;
     std::vector<double> cell_ms;
-    for (std::size_t threads : thread_counts) {
-      (void)graph::centrality_scores(g, threads);  // warm-up
-      double best_ms = 0.0;
+    for (const std::size_t t : threads) {
+      graph::CentralityOptions options;
+      options.num_threads = t;
+      options.approximate = approximate;
       graph::CentralityScores scores;
+      double best_ms = 0.0;
       for (int rep = 0; rep < reps; ++rep) {
-        const auto start = std::chrono::steady_clock::now();
-        scores = graph::centrality_scores(g, threads);
-        const auto elapsed = std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start).count();
+        const double elapsed = time_once(g, options, scores);
         if (rep == 0 || elapsed < best_ms) best_ms = elapsed;
       }
-      if (threads == 1) {
+      if (t == threads.front()) {
         reference = scores;
       } else if (scores.betweenness != reference.betweenness ||
                  scores.closeness != reference.closeness) {
-        all_deterministic = false;
-        std::printf("DETERMINISM VIOLATION: n=%zu threads=%zu\n", n,
-                    threads);
+        ok = false;
+        std::printf("DETERMINISM VIOLATION: %s n=%zu threads=%zu\n",
+                    mode.c_str(), n, t);
       }
       cell_ms.push_back(best_ms);
-      json_values["centrality.n" + std::to_string(n) + ".t" +
-                  std::to_string(threads) + ".ms"] = best_ms;
+      json_values[prefix + ".t" + std::to_string(t) + ".ms"] = best_ms;
+    }
+    if (approximate) {
+      // Same seed, fresh run: the sampled path must reproduce itself
+      // bit-for-bit (fixed pivot draw, integer-exact accumulators).
+      graph::CentralityOptions options;
+      options.num_threads = threads.front();
+      options.approximate = true;
+      graph::CentralityScores again;
+      (void)time_once(g, options, again);
+      if (again.betweenness != reference.betweenness ||
+          again.closeness != reference.closeness) {
+        ok = false;
+        std::printf("SEED STABILITY VIOLATION: approx n=%zu\n", n);
+      }
     }
 
-    char row[160];
-    std::snprintf(row, sizeof(row),
-                  "  %6zu %10zu %10.3f %10.3f %10.3f %10.3f %10.2fx\n", n,
-                  g.edge_count(), cell_ms[0], cell_ms[1], cell_ms[2],
-                  cell_ms[3],
-                  cell_ms[3] > 0.0 ? cell_ms[0] / cell_ms[3] : 0.0);
+    const std::size_t pivots =
+        approximate
+            ? graph::resolved_pivot_count(n, graph::ApproxCentralityOptions{})
+            : 0;
+    if (approximate) {
+      json_values[prefix + ".pivots"] = static_cast<double>(pivots);
+    }
+    char row[200];
+    std::string cells;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      std::snprintf(row, sizeof(row), " %10.3f", cell_ms[i]);
+      cells += row;
+    }
+    for (std::size_t i = threads.size(); i < all_threads.size(); ++i) {
+      cells += "          -";
+    }
+    std::snprintf(row, sizeof(row), "  %-6s %7zu %10zu %7zu%s\n",
+                  mode.c_str(), n, g.edge_count(), pivots, cells.c_str());
     table << row;
+    return cell_ms.front();
+  };
+
+  {
+    const auto g = make_firmware(1000);
+    (void)sweep_row(g, 1000, /*approximate=*/false, all_threads);
   }
-  table << (all_deterministic
-                ? "  all thread counts bit-identical to t=1\n"
-                : "  DETERMINISM VIOLATIONS DETECTED (see above)\n");
+  double exact_10k_ms = 0.0;
+  double approx_10k_ms = 0.0;
+  {
+    const auto g = make_firmware(10000);
+    exact_10k_ms = sweep_row(g, 10000, /*approximate=*/false, all_threads);
+    approx_10k_ms = sweep_row(g, 10000, /*approximate=*/true, all_threads);
+  }
+  {
+    // Exact at n=50,000 is the anchor the approximation is measured
+    // against; one serial run keeps the sweep's wall clock sane.
+    const auto g = make_firmware(50000);
+    (void)sweep_row(g, 50000, /*approximate=*/false, {1});
+    (void)sweep_row(g, 50000, /*approximate=*/true, all_threads);
+  }
+
+  const double speedup =
+      approx_10k_ms > 0.0 ? exact_10k_ms / approx_10k_ms : 0.0;
+  json_values["approx.n10000.speedup_over_exact_t1"] = speedup;
+  char line[120];
+  std::snprintf(line, sizeof(line),
+                "  approx speedup over exact at n=10000 (t=1): %.2fx"
+                " (floor %.1fx)\n",
+                speedup, kMinSpeedupAt10k);
+  table << line;
+  if (speedup < kMinSpeedupAt10k) {
+    ok = false;
+    std::printf("SPEEDUP FLOOR VIOLATION: %.2fx < %.1fx at n=10000\n",
+                speedup, kMinSpeedupAt10k);
+  }
+  table << (ok ? "  all determinism contracts held\n"
+               : "  CONTRACT VIOLATIONS DETECTED (see stdout)\n");
 
   const std::string report = table.str();
   std::printf("\n%s", report.c_str());
@@ -189,6 +279,7 @@ void run_centrality_sweep() {
                               json_values)) {
     std::printf("centrality sweep recorded in BENCH_perf.json\n");
   }
+  return ok;
 }
 
 }  // namespace
@@ -198,6 +289,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_centrality_sweep();
-  return 0;
+  return run_centrality_sweep() ? 0 : 1;
 }

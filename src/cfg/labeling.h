@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cfg/cfg.h"
+#include "graph/centrality.h"
 
 namespace soteria::cfg {
 
@@ -39,10 +40,43 @@ struct NodeRank {
   std::size_t level = 0;  ///< 1-based; kUnreachable if not reachable
 };
 
+/// Knobs of the graph-analytics pass feeding both labelings. The
+/// default is the exact fused Brandes sweep on every CFG; setting
+/// `approx_centrality_threshold` switches CFGs at or above that many
+/// nodes to the sampled-pivot centrality estimate (graph/centrality.h)
+/// — same rank keys, bounded-error scores, a fraction of the cost.
+/// Part of PipelineConfig (persisted with the model), so two pipelines
+/// that label differently can never share cached or stored features.
+struct LabelingOptions {
+  /// Node count at or above which centrality is approximated;
+  /// 0 (default) = never, labeling stays exact at any size.
+  std::size_t approx_centrality_threshold = 0;
+
+  /// Approximation parameters used once the threshold trips.
+  graph::ApproxCentralityOptions approx;
+
+  [[nodiscard]] bool operator==(const LabelingOptions&) const = default;
+};
+
+/// Throws std::invalid_argument for invalid approximation parameters.
+void validate(const LabelingOptions& options);
+
+/// True when `options` put an n-node CFG on the approximate centrality
+/// path: the threshold is set, n reaches it, and the resolved pivot
+/// count is actually below n (a full pivot set is the exact sweep, so
+/// it is normalized to exact — cache keys rely on this).
+[[nodiscard]] bool approximate_labeling(const LabelingOptions& options,
+                                        std::size_t nodes);
+
 /// Computes the ranking keys for every node of `cfg` in one fused
 /// graph-analytics pass (betweenness + closeness from a single Brandes
 /// sweep, levels from one BFS).
 [[nodiscard]] std::vector<NodeRank> node_ranks(const Cfg& cfg);
+
+/// As above under explicit labeling options (exact or approximate
+/// centrality per `options` and the CFG's size).
+[[nodiscard]] std::vector<NodeRank> node_ranks(
+    const Cfg& cfg, const LabelingOptions& options);
 
 /// Orders nodes under `method` given precomputed ranking keys — the
 /// sort-only tail of label_nodes, so both labelings can share one
@@ -58,6 +92,11 @@ struct NodeRank {
 [[nodiscard]] std::vector<Label> label_nodes(const Cfg& cfg,
                                              LabelingMethod method);
 
+/// As above under explicit labeling options.
+[[nodiscard]] std::vector<Label> label_nodes(const Cfg& cfg,
+                                             LabelingMethod method,
+                                             const LabelingOptions& options);
+
 /// Both labelings of one CFG.
 struct NodeLabelings {
   std::vector<Label> dbl;
@@ -69,6 +108,10 @@ struct NodeLabelings {
 /// dominate labeling cost run exactly once. Equivalent to calling
 /// label_nodes twice; throws std::invalid_argument for an empty CFG.
 [[nodiscard]] NodeLabelings label_both(const Cfg& cfg);
+
+/// As above under explicit labeling options.
+[[nodiscard]] NodeLabelings label_both(const Cfg& cfg,
+                                       const LabelingOptions& options);
 
 /// Inverse view: node id holding each label (result[label] = node).
 /// Throws std::invalid_argument if any label is out of range or

@@ -45,20 +45,40 @@ std::uint64_t LabelingCache::content_hash(const Cfg& cfg) {
   return h;
 }
 
-LabelingCache::Key LabelingCache::make_key(const Cfg& cfg) {
+LabelingCache::Key LabelingCache::make_key(const Cfg& cfg,
+                                           const LabelingOptions& options) {
   Key key;
   key.entry = cfg.entry();
   key.nodes = cfg.node_count();
   key.edges = cfg.graph().edges();
+  if (approximate_labeling(options, key.nodes)) {
+    key.mode.approximate = true;
+    key.mode.pivots =
+        graph::resolved_pivot_count(key.nodes, options.approx);
+    key.mode.seed = options.approx.seed;
+  }
   return key;
 }
 
 NodeLabelings LabelingCache::labels(const Cfg& cfg) {
+  return labels(cfg, LabelingOptions{});
+}
+
+NodeLabelings LabelingCache::labels(const Cfg& cfg,
+                                    const LabelingOptions& options) {
   if (cfg.node_count() == 0) {
     throw std::invalid_argument("LabelingCache::labels: empty CFG");
   }
-  const std::uint64_t hash = hasher_(cfg);
-  Key key = make_key(cfg);
+  Key key = make_key(cfg, options);
+  // Exact-mode lookups hash exactly as before the mode existed;
+  // approximate entries fold their mode in, so the two can only meet
+  // in a bucket via a (detected) collision.
+  std::uint64_t hash = hasher_(cfg);
+  if (key.mode.approximate) {
+    fnv_mix(hash, 0x617070726f78ULL);  // "approx" tag
+    fnv_mix(hash, static_cast<std::uint64_t>(key.mode.pivots));
+    fnv_mix(hash, key.mode.seed);
+  }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -78,7 +98,7 @@ NodeLabelings LabelingCache::labels(const Cfg& cfg) {
 
   // Compute outside the lock: concurrent misses on distinct CFGs must
   // not serialize on the expensive graph analytics.
-  NodeLabelings labelings = label_both(cfg);
+  NodeLabelings labelings = label_both(cfg, options);
 
   std::lock_guard<std::mutex> lock(mutex_);
   // Another thread may have inserted the same CFG while we computed;

@@ -5,7 +5,10 @@
 // batch analysis re-derive the same labelings for the same CFGs — and
 // labeling is the dominant extraction cost (centrality is O(V*E) per
 // graph). `LabelingCache` memoizes `label_both` keyed by a 64-bit
-// content hash of the CFG (entry + node count + edge list).
+// content hash of the CFG (entry + node count + edge list) plus the
+// effective centrality mode (exact, or sampled-pivot with its resolved
+// pivot count and seed), so exact and approximate labelings of the
+// same CFG never alias.
 //
 // Correctness under collisions: every entry stores the full canonical
 // key alongside the hash and verifies it on lookup, so two CFGs that
@@ -55,6 +58,15 @@ class LabelingCache {
   /// (nothing is cached in that case).
   [[nodiscard]] NodeLabelings labels(const Cfg& cfg);
 
+  /// As above under explicit labeling options. The cache key covers the
+  /// *effective* centrality mode — exact, or approximate with its
+  /// resolved pivot count and seed — so exact and approximate labelings
+  /// of the same CFG content miss each other instead of aliasing.
+  /// Options that resolve to the exact sweep (threshold unset, CFG
+  /// below it, or a full pivot set) share entries with labels(cfg).
+  [[nodiscard]] NodeLabelings labels(const Cfg& cfg,
+                                     const LabelingOptions& options);
+
   /// Monotonic accounting since construction (or clear()).
   struct Stats {
     std::uint64_t hits = 0;
@@ -74,12 +86,26 @@ class LabelingCache {
   [[nodiscard]] static std::uint64_t content_hash(const Cfg& cfg);
 
  private:
-  /// Canonical CFG content; compared on lookup so hash collisions are
-  /// detected instead of served.
+  /// The effective centrality mode of a labeling, normalized: exact
+  /// entries are all-zero regardless of which options requested them,
+  /// approximate entries carry the resolved pivot count and seed (the
+  /// two inputs that change the scores; epsilon/delta only matter
+  /// through the pivot count they resolve to).
+  struct Mode {
+    bool approximate = false;
+    std::size_t pivots = 0;
+    std::uint64_t seed = 0;
+
+    bool operator==(const Mode& other) const = default;
+  };
+
+  /// Canonical CFG content plus the effective centrality mode; compared
+  /// on lookup so hash collisions are detected instead of served.
   struct Key {
     graph::NodeId entry = 0;
     std::size_t nodes = 0;
     std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    Mode mode;
 
     bool operator==(const Key& other) const = default;
   };
@@ -90,7 +116,8 @@ class LabelingCache {
     NodeLabelings labelings;
   };
 
-  [[nodiscard]] static Key make_key(const Cfg& cfg);
+  [[nodiscard]] static Key make_key(const Cfg& cfg,
+                                    const LabelingOptions& options);
 
   const std::size_t capacity_;
   const Hasher hasher_;

@@ -26,6 +26,7 @@ void validate(const PipelineConfig& config) {
                                   std::to_string(kMaxGramLength) + "]");
     }
   }
+  cfg::validate(config.labeling);
 }
 
 std::vector<float> SampleFeatures::combined(std::size_t walk) const {
@@ -71,8 +72,8 @@ std::vector<float> SampleFeatures::pooled_combined() const {
 
 cfg::NodeLabelings FeaturePipeline::labelings_for(
     const cfg::Cfg& cfg) const {
-  if (labeling_cache_) return labeling_cache_->labels(cfg);
-  return cfg::label_both(cfg);
+  if (labeling_cache_) return labeling_cache_->labels(cfg, config_.labeling);
+  return cfg::label_both(cfg, config_.labeling);
 }
 
 GramCounts FeaturePipeline::gram_counts_for_labels(
@@ -206,6 +207,16 @@ void FeaturePipeline::save(std::ostream& out) const {
   io::write_scalar<std::uint64_t>(out, config_.top_k);
   io::write_vector<std::size_t>(out, config_.gram_sizes);
   io::write_scalar<std::uint8_t>(out, config_.l2_normalize ? 1 : 0);
+  // Labeling options are model state: they change the labels every
+  // feature is built from, and serializing them here also folds them
+  // into the pipeline fingerprint (store/fingerprint.h hashes this
+  // blob), keying the feature store by centrality mode.
+  io::write_scalar<std::uint64_t>(out,
+                                  config_.labeling.approx_centrality_threshold);
+  io::write_scalar<std::uint64_t>(out, config_.labeling.approx.pivot_count);
+  io::write_scalar(out, config_.labeling.approx.epsilon);
+  io::write_scalar(out, config_.labeling.approx.delta);
+  io::write_scalar<std::uint64_t>(out, config_.labeling.approx.seed);
   dbl_vocab_.save(out);
   lbl_vocab_.save(out);
 }
@@ -219,6 +230,13 @@ FeaturePipeline FeaturePipeline::load(std::istream& in) {
       static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
   pipeline.config_.gram_sizes = io::read_vector<std::size_t>(in);
   pipeline.config_.l2_normalize = io::read_scalar<std::uint8_t>(in) != 0;
+  pipeline.config_.labeling.approx_centrality_threshold =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  pipeline.config_.labeling.approx.pivot_count =
+      static_cast<std::size_t>(io::read_scalar<std::uint64_t>(in));
+  pipeline.config_.labeling.approx.epsilon = io::read_scalar<double>(in);
+  pipeline.config_.labeling.approx.delta = io::read_scalar<double>(in);
+  pipeline.config_.labeling.approx.seed = io::read_scalar<std::uint64_t>(in);
   validate(pipeline.config_);
   pipeline.dbl_vocab_ = Vocabulary::load(in);
   pipeline.lbl_vocab_ = Vocabulary::load(in);

@@ -41,6 +41,11 @@ struct PipelineConfig {
   /// L2-normalize TF-IDF vectors. Disabling keeps each sample's
   /// in-vocabulary mass fraction, which GEA merges shift measurably.
   bool l2_normalize = true;
+  /// Labeling knobs, notably the approximate-centrality threshold for
+  /// firmware-scale CFGs (exact everywhere by default). Persisted by
+  /// save() and hashed into the pipeline fingerprint, so pipelines
+  /// that label differently never share feature-store entries.
+  cfg::LabelingOptions labeling;
 };
 
 /// Throws std::invalid_argument for invalid walk config, zero top_k, or

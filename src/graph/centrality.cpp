@@ -1,21 +1,33 @@
 #include "graph/centrality.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <memory>
+#include <numeric>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "math/rng.h"
 #include "runtime/thread_pool.h"
 
 namespace soteria::graph {
 
 namespace {
 
-// Sources are processed in fixed-size chunks regardless of thread
-// count; each chunk owns a partial betweenness accumulator and the
-// partials merge in chunk order, which keeps the parallel variant's
-// result independent of scheduling (see the header's determinism note).
-constexpr std::size_t kSourceChunk = 64;
+// Dynamic work unit: runners claim chunks of this many sources through
+// the region's atomic cursor, so a runner that drew cheap sources goes
+// back for more instead of idling behind a fixed partition. Small
+// enough to balance skewed graphs, large enough that the claim counter
+// is touched once per ~chunk of BFS work.
+constexpr std::size_t kSourceChunk = 16;
+
+// Rounds of signature refinement feeding the pivot draw. Three rounds
+// separate nodes by their distance<=3 neighborhood structure, which is
+// plenty for CFG-shaped graphs while keeping the prepass linear.
+constexpr int kSignatureRounds = 3;
 
 // CSR snapshot of the undirected view: one flat neighbor array plus
 // per-node offsets, with each row sorted and deduplicated exactly like
@@ -48,7 +60,7 @@ struct UndirectedCsr {
 };
 
 // Flat per-source scratch, reused across sources (one instance per
-// worker in the parallel variant). `order` doubles as the BFS FIFO: a
+// slot in the parallel variant). `order` doubles as the BFS FIFO: a
 // head cursor walks it while discovery appends, so dequeue order equals
 // append order and no separate queue is needed.
 struct FusedScratch {
@@ -63,15 +75,17 @@ struct FusedScratch {
   }
 };
 
-// One fused sweep from source `s`: BFS over the CSR fills sigma / dist /
-// order; the distances directly yield s's closeness; the reverse sweep
-// accumulates Brandes dependencies into `betweenness` and the pair-path
-// normalizer into `total_pair_paths`. Predecessors of w are the CSR
-// neighbors u with dist[u] + 1 == dist[w] — no predecessor lists.
-void fused_source_sweep(const UndirectedCsr& csr, std::size_t n, NodeId s,
-                        FusedScratch& scratch,
-                        std::vector<double>& betweenness,
-                        double& total_pair_paths, double& closeness_out) {
+// One Brandes sweep from source `s`: BFS over the CSR fills sigma /
+// dist / order; the reverse sweep accumulates dependencies into
+// `betweenness` and the pair-path normalizer into `total_pair_paths`.
+// Predecessors of w are the CSR neighbors u with dist[u] + 1 == dist[w]
+// — no predecessor lists. scratch.dist / scratch.order stay valid after
+// return, so callers derive their closeness contributions from them
+// (the source's own closeness on the exact path, one distance
+// observation per reached node on the sampled path).
+void brandes_sweep(const UndirectedCsr& csr, NodeId s, FusedScratch& scratch,
+                   std::vector<double>& betweenness,
+                   double& total_pair_paths) {
   auto& sigma = scratch.sigma;
   auto& delta = scratch.delta;
   auto& dist = scratch.dist;
@@ -95,20 +109,6 @@ void fused_source_sweep(const UndirectedCsr& csr, std::size_t n, NodeId s,
     }
   }
 
-  // Closeness falls out of the BFS distances Brandes just computed;
-  // accumulate in node-id order (the naive reference's order).
-  double distance_sum = 0.0;
-  std::size_t reachable = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    if (dist[v] > 0) {
-      distance_sum += static_cast<double>(dist[v]);
-      ++reachable;
-    }
-  }
-  closeness_out = distance_sum > 0.0
-                      ? static_cast<double>(reachable) / distance_sum
-                      : 0.0;
-
   for (NodeId t : order) {
     if (t != s) total_pair_paths += sigma[t];
   }
@@ -126,51 +126,78 @@ void fused_source_sweep(const UndirectedCsr& csr, std::size_t n, NodeId s,
   }
 }
 
-}  // namespace
+// The source's own closeness from the distances the sweep just filled,
+// accumulated in node-id order (the naive reference's order).
+[[nodiscard]] double closeness_of_source(const FusedScratch& scratch,
+                                         std::size_t n) {
+  double distance_sum = 0.0;
+  std::size_t reachable = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (scratch.dist[v] > 0) {
+      distance_sum += static_cast<double>(scratch.dist[v]);
+      ++reachable;
+    }
+  }
+  return distance_sum > 0.0 ? static_cast<double>(reachable) / distance_sum
+                            : 0.0;
+}
 
-CentralityScores centrality_scores(const DiGraph& g,
-                                   std::size_t num_threads) {
-  const std::size_t n = g.node_count();
-  CentralityScores scores{std::vector<double>(n, 0.0),
-                          std::vector<double>(n, 0.0)};
-  if (n < 2) return scores;
+// Sampled-path closeness: every node reached by this pivot collects one
+// (reachable, distance) observation — valid because undirected BFS
+// distances are symmetric. Integer accumulators keep the merge exact.
+void scatter_pivot_distances(const FusedScratch& scratch, std::size_t n,
+                             std::vector<std::int64_t>& distance_sum,
+                             std::vector<std::int64_t>& reach_count) {
+  for (NodeId v = 0; v < n; ++v) {
+    if (scratch.dist[v] > 0) {
+      distance_sum[v] += scratch.dist[v];
+      ++reach_count[v];
+    }
+  }
+}
 
-  const UndirectedCsr csr(g);
-  const std::size_t threads = runtime::resolve_threads(num_threads);
+// Exact fused pass over all sources. Parallel variant: runners claim
+// dynamic chunks of sources and accumulate into per-slot partials
+// (claimed once per region via parallel_for_slots), merged exactly once
+// after the region — no per-chunk allocation, no merge contention.
+// Every accumulator is integer-valued until the final division, so the
+// merge is bit-identical to the serial sweep at any thread count.
+void exact_scores(const UndirectedCsr& csr, std::size_t n,
+                  std::size_t threads, CentralityScores& scores) {
   double total_pair_paths = 0.0;  // Delta(m): total shortest paths
                                   // between distinct unordered pairs
 
   if (threads == 1 || n <= kSourceChunk) {
     FusedScratch scratch(n);
     for (NodeId s = 0; s < n; ++s) {
-      fused_source_sweep(csr, n, s, scratch, scores.betweenness,
-                         total_pair_paths, scores.closeness[s]);
+      brandes_sweep(csr, s, scratch, scores.betweenness, total_pair_paths);
+      scores.closeness[s] = closeness_of_source(scratch, n);
     }
   } else {
-    // Parallel over fixed-size source chunks. Closeness entries are
-    // per-source (disjoint writes); betweenness and the pair-path
-    // total accumulate into per-chunk partials merged in chunk order
-    // below. All accumulators are integer-valued until the final
-    // divisions, so this matches the serial sweep bit-for-bit.
-    struct ChunkPartial {
+    struct SlotPartial {
       std::vector<double> betweenness;
       double pair_paths = 0.0;
+      std::unique_ptr<FusedScratch> scratch;  // null until slot first runs
     };
+    std::vector<SlotPartial> partials(threads);
     const std::size_t chunks = (n + kSourceChunk - 1) / kSourceChunk;
-    auto partials = runtime::parallel_map(
-        threads, chunks, [&](std::size_t c) {
-          ChunkPartial partial;
-          partial.betweenness.assign(n, 0.0);
-          FusedScratch scratch(n);
+    runtime::parallel_for_slots(
+        threads, chunks, [&](std::size_t slot, std::size_t c) {
+          auto& partial = partials[slot];
+          if (!partial.scratch) {
+            partial.scratch = std::make_unique<FusedScratch>(n);
+            partial.betweenness.assign(n, 0.0);
+          }
           const NodeId begin = c * kSourceChunk;
           const NodeId end = std::min(n, begin + kSourceChunk);
           for (NodeId s = begin; s < end; ++s) {
-            fused_source_sweep(csr, n, s, scratch, partial.betweenness,
-                               partial.pair_paths, scores.closeness[s]);
+            brandes_sweep(csr, s, *partial.scratch, partial.betweenness,
+                          partial.pair_paths);
+            scores.closeness[s] = closeness_of_source(*partial.scratch, n);
           }
-          return partial;
         });
     for (const auto& partial : partials) {
+      if (!partial.scratch) continue;  // slot never ran (fewer runners)
       for (std::size_t v = 0; v < n; ++v) {
         scores.betweenness[v] += partial.betweenness[v];
       }
@@ -183,7 +210,205 @@ CentralityScores centrality_scores(const DiGraph& g,
   if (total_pair_paths > 0.0) {
     for (double& b : scores.betweenness) b /= total_pair_paths;
   }
+}
+
+// Structural node signatures for the pivot draw: seed-folded degree,
+// refined kSignatureRounds times by hashing each node's sorted
+// multiset of neighbor signatures. A pure function of (graph content,
+// seed), so the draw is reproducible across runs and thread counts and
+// equivariant under node-id permutation whenever the signatures
+// separate the nodes (sorted neighbor values are permutation-stable).
+[[nodiscard]] std::vector<std::uint64_t> signature_priorities(
+    const UndirectedCsr& csr, std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint64_t> sig(n);
+  std::vector<std::uint64_t> next(n);
+  for (NodeId v = 0; v < n; ++v) {
+    sig[v] = math::split_mix64(
+        seed ^ math::split_mix64(static_cast<std::uint64_t>(csr.row(v).size())));
+  }
+  std::vector<std::uint64_t> row_sigs;
+  for (int round = 0; round < kSignatureRounds; ++round) {
+    const std::uint64_t round_salt =
+        math::split_mix64(seed + static_cast<std::uint64_t>(round) + 1);
+    for (NodeId v = 0; v < n; ++v) {
+      row_sigs.clear();
+      for (NodeId u : csr.row(v)) row_sigs.push_back(sig[u]);
+      std::sort(row_sigs.begin(), row_sigs.end());
+      std::uint64_t h = math::split_mix64(sig[v] ^ round_salt);
+      for (std::uint64_t s : row_sigs) h = math::split_mix64(h ^ s);
+      next[v] = h;
+    }
+    sig.swap(next);
+  }
+  return sig;
+}
+
+// The r nodes with the smallest (priority, id), returned in ascending
+// node-id order (pivot identity is what matters; id order gives the
+// serial fallback cache-friendly source locality).
+[[nodiscard]] std::vector<NodeId> select_pivots(
+    const std::vector<std::uint64_t>& priorities, std::size_t r) {
+  const std::size_t n = priorities.size();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::partial_sort(order.begin(), order.begin() + r, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (priorities[a] != priorities[b]) {
+                        return priorities[a] < priorities[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(r);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+// Sampled-pivot estimate: Brandes sweeps from the pivots only.
+// Betweenness is the ratio of pivot-accumulated through-paths to
+// pivot-accumulated pair paths (the per-pivot scale factors cancel,
+// matching the paper's Delta(v)/Delta(m) normalization restricted to
+// the sample); closeness per node is estimated from the pivot
+// distances the same sweeps produce. With the pivot set equal to all
+// nodes both estimators reduce to the exact formulas bit for bit —
+// that case is routed to exact_scores by the caller.
+void approx_scores(const UndirectedCsr& csr, std::size_t n,
+                   std::size_t threads, const std::vector<NodeId>& pivots,
+                   CentralityScores& scores) {
+  double total_pair_paths = 0.0;
+  std::vector<std::int64_t> distance_sum(n, 0);
+  std::vector<std::int64_t> reach_count(n, 0);
+
+  if (threads == 1 || pivots.size() <= kSourceChunk) {
+    FusedScratch scratch(n);
+    for (NodeId s : pivots) {
+      brandes_sweep(csr, s, scratch, scores.betweenness, total_pair_paths);
+      scatter_pivot_distances(scratch, n, distance_sum, reach_count);
+    }
+  } else {
+    struct SlotPartial {
+      std::vector<double> betweenness;
+      std::vector<std::int64_t> distance_sum;
+      std::vector<std::int64_t> reach_count;
+      double pair_paths = 0.0;
+      std::unique_ptr<FusedScratch> scratch;  // null until slot first runs
+    };
+    std::vector<SlotPartial> partials(threads);
+    const std::size_t chunks =
+        (pivots.size() + kSourceChunk - 1) / kSourceChunk;
+    runtime::parallel_for_slots(
+        threads, chunks, [&](std::size_t slot, std::size_t c) {
+          auto& partial = partials[slot];
+          if (!partial.scratch) {
+            partial.scratch = std::make_unique<FusedScratch>(n);
+            partial.betweenness.assign(n, 0.0);
+            partial.distance_sum.assign(n, 0);
+            partial.reach_count.assign(n, 0);
+          }
+          const std::size_t begin = c * kSourceChunk;
+          const std::size_t end =
+              std::min(pivots.size(), begin + kSourceChunk);
+          for (std::size_t i = begin; i < end; ++i) {
+            brandes_sweep(csr, pivots[i], *partial.scratch,
+                          partial.betweenness, partial.pair_paths);
+            scatter_pivot_distances(*partial.scratch, n,
+                                    partial.distance_sum,
+                                    partial.reach_count);
+          }
+        });
+    for (const auto& partial : partials) {
+      if (!partial.scratch) continue;  // slot never ran (fewer runners)
+      for (std::size_t v = 0; v < n; ++v) {
+        scores.betweenness[v] += partial.betweenness[v];
+        distance_sum[v] += partial.distance_sum[v];
+        reach_count[v] += partial.reach_count[v];
+      }
+      total_pair_paths += partial.pair_paths;
+    }
+  }
+
+  if (total_pair_paths > 0.0) {
+    for (double& b : scores.betweenness) b /= total_pair_paths;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    scores.closeness[v] =
+        distance_sum[v] > 0 ? static_cast<double>(reach_count[v]) /
+                                  static_cast<double>(distance_sum[v])
+                            : 0.0;
+  }
+}
+
+void check_unit_interval(double value, const char* name) {
+  if (!(value > 0.0) || !(value < 1.0)) {
+    throw std::invalid_argument(std::string("ApproxCentralityOptions: ") +
+                                name + " must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+void validate(const ApproxCentralityOptions& options) {
+  check_unit_interval(options.epsilon, "epsilon");
+  check_unit_interval(options.delta, "delta");
+}
+
+std::size_t riondato_pivot_count(std::size_t nodes, double epsilon,
+                                 double delta) {
+  check_unit_interval(epsilon, "epsilon");
+  check_unit_interval(delta, "delta");
+  if (nodes < 2) return 1;
+  const double count =
+      std::ceil(std::log(2.0 * static_cast<double>(nodes) / delta) /
+                (2.0 * epsilon * epsilon));
+  return count > 1.0 ? static_cast<std::size_t>(count) : 1;
+}
+
+double approx_error_bound(std::size_t nodes, std::size_t pivots,
+                          double delta) {
+  check_unit_interval(delta, "delta");
+  if (pivots == 0) {
+    throw std::invalid_argument("approx_error_bound: pivots must be > 0");
+  }
+  if (nodes < 2) return 0.0;
+  return std::sqrt(std::log(2.0 * static_cast<double>(nodes) / delta) /
+                   (2.0 * static_cast<double>(pivots)));
+}
+
+std::size_t resolved_pivot_count(std::size_t nodes,
+                                 const ApproxCentralityOptions& options) {
+  const std::size_t requested =
+      options.pivot_count != 0
+          ? options.pivot_count
+          : riondato_pivot_count(nodes, options.epsilon, options.delta);
+  return std::min(requested, nodes);
+}
+
+CentralityScores centrality_scores(const DiGraph& g,
+                                   const CentralityOptions& options) {
+  if (options.approximate) validate(options.approx);
+  const std::size_t n = g.node_count();
+  CentralityScores scores{std::vector<double>(n, 0.0),
+                          std::vector<double>(n, 0.0)};
+  if (n < 2) return scores;
+
+  const UndirectedCsr csr(g);
+  const std::size_t threads = runtime::resolve_threads(options.num_threads);
+  const std::size_t pivot_count =
+      options.approximate ? resolved_pivot_count(n, options.approx) : n;
+  if (pivot_count >= n) {
+    exact_scores(csr, n, threads, scores);
+  } else {
+    const auto priorities = signature_priorities(csr, n, options.approx.seed);
+    approx_scores(csr, n, threads, select_pivots(priorities, pivot_count),
+                  scores);
+  }
   return scores;
+}
+
+CentralityScores centrality_scores(const DiGraph& g,
+                                   std::size_t num_threads) {
+  CentralityOptions options;
+  options.num_threads = num_threads;
+  return centrality_scores(g, options);
 }
 
 std::vector<double> betweenness_centrality(const DiGraph& g) {
@@ -200,6 +425,35 @@ std::vector<double> centrality_factor(const DiGraph& g,
   auto cf = std::move(scores.betweenness);
   for (std::size_t i = 0; i < cf.size(); ++i) cf[i] += scores.closeness[i];
   return cf;
+}
+
+std::vector<double> centrality_factor(const DiGraph& g,
+                                      const CentralityOptions& options) {
+  auto scores = centrality_scores(g, options);
+  auto cf = std::move(scores.betweenness);
+  for (std::size_t i = 0; i < cf.size(); ++i) cf[i] += scores.closeness[i];
+  return cf;
+}
+
+std::vector<std::uint64_t> pivot_priorities(const DiGraph& g,
+                                            std::uint64_t seed) {
+  const UndirectedCsr csr(g);
+  return signature_priorities(csr, g.node_count(), seed);
+}
+
+std::vector<NodeId> pivot_nodes(const DiGraph& g,
+                                const ApproxCentralityOptions& options) {
+  validate(options);
+  const std::size_t n = g.node_count();
+  const std::size_t pivot_count = resolved_pivot_count(n, options);
+  if (pivot_count >= n) {
+    std::vector<NodeId> all(n);
+    std::iota(all.begin(), all.end(), NodeId{0});
+    return all;
+  }
+  const UndirectedCsr csr(g);
+  return select_pivots(signature_priorities(csr, n, options.seed),
+                       pivot_count);
 }
 
 }  // namespace soteria::graph

@@ -32,4 +32,21 @@ namespace soteria::graph {
 /// loops).
 [[nodiscard]] DiGraph complete_digraph(std::size_t n);
 
+/// Barabasi-Albert-style scale-free digraph: nodes arrive one at a
+/// time and wire up to `edges_per_node` out-edges to earlier nodes
+/// drawn proportionally to current degree (preferential attachment),
+/// so a few early hubs collect most of the edges — the heavy-tailed
+/// degree profile of call-heavy CFG regions. Connected in the
+/// undirected view by construction.
+[[nodiscard]] DiGraph scale_free_digraph(std::size_t n,
+                                         std::size_t edges_per_node,
+                                         math::Rng& rng);
+
+/// Firmware-shaped CFG: many small chain-with-branches "function
+/// bodies" stitched together by call edges biased toward a handful of
+/// hub bodies (memcpy-style helpers), plus occasional intra-body back
+/// edges — the sparse-but-hubby shape of stripped firmware CFGs. Every
+/// node is reachable from node 0 (the first body's entry).
+[[nodiscard]] DiGraph firmware_like_cfg(std::size_t n, math::Rng& rng);
+
 }  // namespace soteria::graph

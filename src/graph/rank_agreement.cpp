@@ -1,0 +1,92 @@
+#include "graph/rank_agreement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace soteria::graph {
+
+namespace {
+
+// Indices of `values` sorted by descending value, ties toward the
+// smaller index.
+[[nodiscard]] std::vector<std::size_t> descending_order(
+    std::span<const double> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;
+  });
+  return order;
+}
+
+void check_same_length(std::span<const double> a, std::span<const double> b,
+                       const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": length mismatch");
+  }
+}
+
+}  // namespace
+
+std::vector<double> fractional_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  const auto order = descending_order(values);
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the mean 1-based rank.
+    const double shared = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = shared;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  check_same_length(a, b, "spearman");
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+  const auto ra = fractional_ranks(a);
+  const auto rb = fractional_ranks(b);
+  // Both rank vectors share the mean (n + 1) / 2 by construction.
+  const double mean = 0.5 * static_cast<double>(n + 1);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean;
+    const double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 && var_b == 0.0) return 1.0;
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double top_k_overlap(std::span<const double> a, std::span<const double> b,
+                     std::size_t k) {
+  check_same_length(a, b, "top_k_overlap");
+  k = std::min(k, a.size());
+  if (k == 0) return 1.0;
+  auto order_a = descending_order(a);
+  auto order_b = descending_order(b);
+  order_a.resize(k);
+  order_b.resize(k);
+  std::sort(order_a.begin(), order_a.end());
+  std::sort(order_b.begin(), order_b.end());
+  std::vector<std::size_t> common;
+  std::set_intersection(order_a.begin(), order_a.end(), order_b.begin(),
+                        order_b.end(), std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(k);
+}
+
+}  // namespace soteria::graph

@@ -45,8 +45,13 @@ bool in_parallel_region() noexcept { return t_in_parallel_region; }
 /// parallel_for returns.
 struct Region {
   const std::function<void(std::size_t)>* body = nullptr;
+  /// Slotted variant (exactly one of body / body_slotted is set): the
+  /// runner passes its claimed slot id alongside each index.
+  const std::function<void(std::size_t, std::size_t)>* body_slotted =
+      nullptr;
   std::size_t n = 0;
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> next_slot{0};
   std::atomic<bool> poisoned{false};
   std::size_t total_runners = 0;
 
@@ -64,11 +69,19 @@ struct Region {
   void run_indices() {
     RegionGuard guard;
     const obs::SpanContextGuard span_guard(span_context);
+    // Claimed once per runner, never contended again: every index this
+    // runner executes shares the slot, and slots stay < total_runners.
+    const std::size_t slot =
+        next_slot.fetch_add(1, std::memory_order_relaxed);
     while (!poisoned.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
-        (*body)(i);
+        if (body_slotted != nullptr) {
+          (*body_slotted)(slot, i);
+        } else {
+          (*body)(i);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!error) error = std::current_exception();
@@ -87,6 +100,37 @@ struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable wake;
   bool stopping = false;  // guarded by mutex
+
+  /// Launches `region` (body already installed) over `n` indices and
+  /// blocks until every runner has finished. Queued tasks own the
+  /// region state independently of this stack frame; the caller waits
+  /// for every runner (started or not), so no body outlives the call.
+  void run_region(std::shared_ptr<Region> region, std::size_t n) {
+    region->n = n;
+    region->span_context = obs::current_span_context();
+    const std::size_t queued_runners = std::min(workers.size(), n - 1);
+    region->total_runners = queued_runners + 1;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (std::size_t r = 0; r < queued_runners; ++r) {
+        queue.emplace_back([region] { region->run_indices(); });
+      }
+    }
+    if (queued_runners == 1) {
+      wake.notify_one();
+    } else {
+      wake.notify_all();
+    }
+
+    region->run_indices();
+
+    std::unique_lock<std::mutex> lock(region->mutex);
+    region->done.wait(lock, [&] {
+      return region->finished_runners == region->total_runners;
+    });
+    if (region->error) std::rethrow_exception(region->error);
+  }
 
   void worker_loop() {
     for (;;) {
@@ -139,36 +183,23 @@ void ThreadPool::parallel_for(
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-
-  // Queued tasks own the region state independently of this stack
-  // frame; the caller waits for every runner (started or not) below, so
-  // no body outlives the call.
   auto region = std::make_shared<Region>();
   region->body = &body;
-  region->n = n;
-  region->span_context = obs::current_span_context();
-  const std::size_t queued_runners = std::min(impl_->workers.size(), n - 1);
-  region->total_runners = queued_runners + 1;
+  impl_->run_region(std::move(region), n);
+}
 
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    for (std::size_t r = 0; r < queued_runners; ++r) {
-      impl_->queue.emplace_back([region] { region->run_indices(); });
-    }
+void ThreadPool::parallel_for_slots(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1 || t_in_parallel_region) {
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
   }
-  if (queued_runners == 1) {
-    impl_->wake.notify_one();
-  } else {
-    impl_->wake.notify_all();
-  }
-
-  region->run_indices();
-
-  std::unique_lock<std::mutex> lock(region->mutex);
-  region->done.wait(lock, [&] {
-    return region->finished_runners == region->total_runners;
-  });
-  if (region->error) std::rethrow_exception(region->error);
+  auto region = std::make_shared<Region>();
+  region->body_slotted = &body;
+  impl_->run_region(std::move(region), n);
 }
 
 void parallel_for(std::size_t num_threads, std::size_t n,
@@ -186,6 +217,24 @@ void parallel_for(std::size_t num_threads, std::size_t n,
   }
   ThreadPool pool(resolved);
   pool.parallel_for(n, body);
+}
+
+void parallel_for_slots(
+    std::size_t num_threads, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t resolved = resolve_threads(num_threads);
+  if (resolved > kMaxThreads) {
+    throw std::invalid_argument(
+        "parallel_for_slots: " + std::to_string(resolved) +
+        " threads exceeds the cap of " + std::to_string(kMaxThreads));
+  }
+  if (resolved == 1 || n <= 1 || t_in_parallel_region) {
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+  ThreadPool pool(resolved);
+  pool.parallel_for_slots(n, body);
 }
 
 }  // namespace soteria::runtime

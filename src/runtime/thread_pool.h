@@ -64,6 +64,19 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
+  /// parallel_for whose body also receives a dense *slot* id. Each
+  /// runner (worker or caller) claims one slot for the whole region, so
+  /// slot values are < thread_count(), every index executed by the same
+  /// runner sees the same slot, and no two concurrent bodies share one.
+  /// This is the seam for per-thread partial accumulators: callers
+  /// allocate thread_count() buffers up front, bodies write only to
+  /// buffer[slot], and the buffers are merged after the region returns
+  /// — no locks, no per-chunk allocation, one merge at the end.
+  /// Serial and reentrant fallbacks run everything on slot 0.
+  void parallel_for_slots(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
   /// parallel_for that collects fn(i) into a vector by index. The
   /// result type must be default-constructible.
   template <typename F>
@@ -87,6 +100,14 @@ class ThreadPool {
 /// small regions should hold their own ThreadPool.
 void parallel_for(std::size_t num_threads, std::size_t n,
                   const std::function<void(std::size_t)>& body);
+
+/// One-shot slotted region (see ThreadPool::parallel_for_slots): slot
+/// values are < resolve_threads(num_threads), so callers size their
+/// per-slot accumulator arrays to that count. Runs serially on slot 0
+/// when the resolved count is 1 (or n <= 1, or inside another region).
+void parallel_for_slots(
+    std::size_t num_threads, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body);
 
 /// Map-by-index counterpart of the free parallel_for.
 template <typename F>

@@ -63,6 +63,17 @@ struct SoteriaConfig {
   /// it describes the machine, not the model.
   std::size_t num_threads = 0;
 
+  /// Node count at or above which CFG labeling switches from exact to
+  /// sampled-pivot approximate centrality (graph/centrality.h); 0 (the
+  /// default) keeps labeling exact at any size. A non-zero value is
+  /// copied into `pipeline.labeling.approx_centrality_threshold` by
+  /// train() (like the architecture dims overridden at training time)
+  /// and travels with the saved model from then on; tune it to just
+  /// above the largest CFG whose exact labeling latency is acceptable
+  /// — the estimate's additive error is bounded by
+  /// `pipeline.labeling.approx` (epsilon/delta or explicit pivots).
+  std::size_t approx_centrality_threshold = 0;
+
   /// Capacity (entries) of the shared DBL/LBL labeling cache installed
   /// on the feature pipeline; 0 disables caching. Labeling is a pure
   /// function of CFG content, so the cache only removes re-derivation

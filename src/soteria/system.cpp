@@ -44,6 +44,13 @@ SoteriaSystem SoteriaSystem::train(
 
   SoteriaSystem system;
   system.config_ = config;
+  // The top-level threshold knob is a training-time override of the
+  // pipeline's labeling options (the persisted source of truth), like
+  // the architecture dims below.
+  if (config.approx_centrality_threshold != 0) {
+    system.config_.pipeline.labeling.approx_centrality_threshold =
+        config.approx_centrality_threshold;
+  }
   math::Rng rng(config.seed);
   const std::size_t threads = runtime::resolve_threads(config.num_threads);
 
@@ -61,7 +68,7 @@ SoteriaSystem SoteriaSystem::train(
   for (const auto& s : training) train_cfgs.push_back(s.cfg);
   math::Rng fit_rng = rng.fork(1);
   system.pipeline_ = features::FeaturePipeline::fit(
-      train_cfgs, config.pipeline, fit_rng, threads, labeling_cache);
+      train_cfgs, system.config_.pipeline, fit_rng, threads, labeling_cache);
 
   // 2. Extract training features once; assemble the detector's pooled
   //    matrix and the classifiers' per-walk datasets. The last
@@ -268,6 +275,8 @@ SoteriaSystem SoteriaSystem::load(std::istream& in) try {
   system.config_.seed = io::read_scalar<std::uint64_t>(in);
   system.pipeline_ = features::FeaturePipeline::load(in);
   system.config_.pipeline = system.pipeline_.config();
+  system.config_.approx_centrality_threshold =
+      system.config_.pipeline.labeling.approx_centrality_threshold;
   // Runtime-only state is not persisted; re-create the labeling cache
   // at the default capacity so batch analysis on a loaded model keeps
   // the cross-call memoization.

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/centrality.h"
 #include "graph/generators.h"
 #include "math/rng.h"
 
@@ -51,12 +52,13 @@ ExactKey exact_key(const Cfg& cfg, graph::NodeId v,
 
 void check_permutation_invariance(const Cfg& original,
                                   const std::vector<std::size_t>& perm,
-                                  LabelingMethod method) {
+                                  LabelingMethod method,
+                                  const LabelingOptions& options = {}) {
   const Cfg permuted = permuted_cfg(original, perm);
   const std::size_t n = original.node_count();
 
-  const auto ranks = node_ranks(original);
-  const auto pranks = node_ranks(permuted);
+  const auto ranks = node_ranks(original, options);
+  const auto pranks = node_ranks(permuted, options);
 
   // Rank equivariance: density and level exactly, centrality to ulps.
   for (graph::NodeId v = 0; v < n; ++v) {
@@ -67,8 +69,8 @@ void check_permutation_invariance(const Cfg& original,
                 1e-9 * (1.0 + std::abs(ranks[v].centrality_factor)));
   }
 
-  const auto labels = label_nodes(original, method);
-  const auto plabels = label_nodes(permuted, method);
+  const auto labels = label_nodes(original, method, options);
+  const auto plabels = label_nodes(permuted, method, options);
 
   // Both labelings are permutations of [0, n) (throws otherwise).
   const auto order = nodes_by_label(labels);
@@ -176,6 +178,52 @@ TEST(LabelingPermutation, DblOrderingInvariantUnderNodeRelabeling) {
 
 TEST(LabelingPermutation, LblOrderingInvariantUnderNodeRelabeling) {
   run_shapes(LabelingMethod::kLevel);
+}
+
+// Approximate (sampled-pivot) labeling obeys the same invariance when
+// the WL signature priorities separate every node: the pivot *set* then
+// maps through the permutation, so the estimated centrality factors are
+// equivariant to ulps and the exact-key machinery above applies
+// unchanged. Graphs with automorphic nodes can tie priorities (and a
+// tie broken by node id is legitimately permutation-sensitive), so
+// candidate shapes are screened for the distinct-priority precondition.
+TEST(LabelingPermutation, ApproxOrderingInvariantUnderNodeRelabeling) {
+  math::Rng rng(406);
+  std::size_t checked = 0;
+  for (int attempt = 0; attempt < 12 && checked < 3; ++attempt) {
+    const Cfg cfg(graph::random_connected_dag_plus(60, 0.06, rng), 0);
+    const std::size_t n = cfg.node_count();
+
+    LabelingOptions options;
+    options.approx_centrality_threshold = 1;  // approximate at any size
+    options.approx.pivot_count = n / 3;
+    ASSERT_TRUE(approximate_labeling(options, n));
+
+    auto priorities =
+        graph::pivot_priorities(cfg.graph(), options.approx.seed);
+    std::sort(priorities.begin(), priorities.end());
+    if (std::adjacent_find(priorities.begin(), priorities.end()) !=
+        priorities.end()) {
+      continue;
+    }
+    ++checked;
+
+    std::vector<std::size_t> identity(n);
+    for (std::size_t i = 0; i < n; ++i) identity[i] = i;
+    std::vector<std::vector<std::size_t>> perms;
+    perms.push_back({identity.rbegin(), identity.rend()});
+    for (int k = 0; k < 3; ++k) perms.push_back(rng.permutation(n));
+
+    for (const auto& perm : perms) {
+      for (const auto method :
+           {LabelingMethod::kDensity, LabelingMethod::kLevel}) {
+        check_permutation_invariance(cfg, perm, method, options);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  ASSERT_GE(checked, 3U)
+      << "too few candidate shapes had fully distinct signatures";
 }
 
 // The identity permutation is a pure determinism check: two labelings

@@ -1,0 +1,88 @@
+// Thread-count bit-identity regression tests for the repaired parallel
+// Brandes path (per-slot partial accumulators over dynamic source
+// chunks, merged once per region — src/graph/centrality.cpp).
+//
+// The contract: at every thread count the parallel sweep is
+// bit-identical to the serial sweep, which the fused property suite
+// already pins against the preserved naive oracle. This file runs in
+// the `concurrency` ctest binary so TSan exercises the slotted merge
+// itself (tests/graph/naive_centrality.h stays the single source of
+// expected values; do not relax EXPECT_EQ to a tolerance — integer
+// accumulators make bitwise equality the specification).
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/centrality.h"
+#include "graph/generators.h"
+#include "math/rng.h"
+
+#include "graph/naive_centrality.h"
+
+namespace soteria::graph {
+namespace {
+
+struct Shape {
+  std::string name;
+  DiGraph graph;
+};
+
+[[nodiscard]] std::vector<Shape> shapes() {
+  math::Rng rng(640);
+  std::vector<Shape> out;
+  out.push_back({"random", random_connected_dag_plus(300, 0.02, rng)});
+  out.push_back({"scale_free", scale_free_digraph(300, 3, rng)});
+  out.push_back({"firmware", firmware_like_cfg(400, rng)});
+  out.push_back({"chain", chain_graph(200, 12, rng)});
+  return out;
+}
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+TEST(CentralityThreadIdentity, ExactMatchesNaiveOracleAtEveryThreadCount) {
+  for (const auto& shape : shapes()) {
+    SCOPED_TRACE(shape.name);
+    const auto expected_betweenness =
+        naive::betweenness_centrality(shape.graph);
+    const auto expected_closeness = naive::closeness_centrality(shape.graph);
+    for (const std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const auto scores = centrality_scores(shape.graph, threads);
+      EXPECT_EQ(scores.betweenness, expected_betweenness);
+      EXPECT_EQ(scores.closeness, expected_closeness);
+    }
+  }
+}
+
+TEST(CentralityThreadIdentity, ApproxBitIdenticalAcrossThreadCounts) {
+  for (const auto& shape : shapes()) {
+    SCOPED_TRACE(shape.name);
+    CentralityOptions options;
+    options.approximate = true;
+    options.approx.pivot_count = shape.graph.node_count() / 4;
+    options.num_threads = 1;
+    const auto baseline = centrality_scores(shape.graph, options);
+    for (const std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      options.num_threads = threads;
+      const auto scores = centrality_scores(shape.graph, options);
+      EXPECT_EQ(scores.betweenness, baseline.betweenness);
+      EXPECT_EQ(scores.closeness, baseline.closeness);
+    }
+  }
+}
+
+TEST(CentralityThreadIdentity, CentralityFactorMatchesAtEveryThreadCount) {
+  math::Rng rng(641);
+  const DiGraph g = firmware_like_cfg(350, rng);
+  const auto expected = naive::centrality_factor(g);
+  for (const std::size_t threads : kThreadCounts) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(centrality_factor(g, threads), expected);
+  }
+}
+
+}  // namespace
+}  // namespace soteria::graph

@@ -1,0 +1,383 @@
+// Rank-stability property suite for the sampled-pivot approximate
+// centrality path (graph/centrality.h).
+//
+// Soteria's DBL labeling consumes centrality *rankings*, so the
+// approximation's acceptance question is rank-level agreement with the
+// exact sweep, not raw-score equality: Spearman correlation and top-k
+// overlap over the centrality factor, and end-to-end DBL/LBL label
+// agreement through cfg::node_ranks / labels_from_ranks. The suite
+// also pins the properties that make the approximation *trustworthy*:
+// the Hoeffding/union error bound round-trips and detects
+// under-sampled configurations, a full pivot set reproduces the exact
+// sweep bit for bit, and the pivot draw is deterministic per seed,
+// seed-sensitive, and bit-identical at every thread count.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.h"
+#include "cfg/labeling.h"
+#include "graph/centrality.h"
+#include "graph/generators.h"
+#include "graph/rank_agreement.h"
+#include "math/rng.h"
+
+namespace soteria::graph {
+namespace {
+
+// The firmware-scale cases are exact-sweep-bound (seconds in a Release
+// build); sanitizer builds multiply that several-fold, so those cases
+// skip there — the scaled-down shapes cover the same properties.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+[[nodiscard]] std::vector<double> centrality_factor_of(
+    const CentralityScores& scores) {
+  std::vector<double> cf = scores.betweenness;
+  for (std::size_t i = 0; i < cf.size(); ++i) cf[i] += scores.closeness[i];
+  return cf;
+}
+
+[[nodiscard]] std::vector<double> as_doubles(
+    const std::vector<cfg::Label>& labels) {
+  return {labels.begin(), labels.end()};
+}
+
+// Two weakly-connected components, so sampled pivots must serve both.
+[[nodiscard]] DiGraph disconnected_graph(std::size_t n, math::Rng& rng) {
+  DiGraph g = random_connected_dag_plus(n / 2, 0.02, rng);
+  g.merge_disjoint(random_connected_dag_plus(n - n / 2, 0.02, rng));
+  return g;
+}
+
+struct Shape {
+  std::string name;
+  DiGraph graph;
+  // Per-shape agreement floors. The additive error bound is uniform,
+  // but how much rank order it buys depends on how spread the true
+  // scores are: the disconnected shape glues two flat random halves
+  // whose closeness values cluster tightly, so small absolute errors
+  // shuffle ranks near the top-k boundary and its floors sit lower.
+  double default_rho = 0.95;
+  double default_top_k = 0.8;
+  double subsampled_rho = 0.7;
+  double subsampled_top_k = 0.5;
+};
+
+// The four graph classes under test: random, scale-free, disconnected,
+// firmware-shaped. Sized so the default pivot count samples a real
+// fraction (~1/3) of the nodes, not nearly all of them.
+[[nodiscard]] std::vector<Shape> agreement_shapes() {
+  math::Rng rng(7031);
+  std::vector<Shape> shapes;
+  shapes.push_back({"random", random_connected_dag_plus(2000, 0.004, rng)});
+  shapes.push_back({"scale_free", scale_free_digraph(2000, 3, rng)});
+  shapes.push_back(
+      {"disconnected", disconnected_graph(2000, rng), 0.9, 0.6, 0.45, 0.25});
+  shapes.push_back({"firmware", firmware_like_cfg(2000, rng)});
+  return shapes;
+}
+
+[[nodiscard]] CentralityOptions approx_options(std::size_t pivot_count,
+                                               std::uint64_t seed = 0x536f) {
+  CentralityOptions options;
+  options.approximate = true;
+  options.approx.pivot_count = pivot_count;
+  options.approx.seed = seed;
+  return options;
+}
+
+TEST(RankStability, PivotCountBoundRoundTripsAndDetectsUnderSampling) {
+  for (const std::size_t n : {100UL, 10'000UL, 50'000UL}) {
+    for (const double epsilon : {0.05, 0.1, 0.2}) {
+      const std::size_t r = riondato_pivot_count(n, epsilon, 0.01);
+      // The pivot count buys at least the error it was sized for...
+      EXPECT_LE(approx_error_bound(n, r, 0.01), epsilon + 1e-12)
+          << "n=" << n << " epsilon=" << epsilon;
+      // ...and one fewer pivot provably does not: an under-sampled
+      // configuration is detected by the same bound.
+      ASSERT_GT(r, 1U);
+      EXPECT_GT(approx_error_bound(n, r - 1, 0.01), epsilon)
+          << "n=" << n << " epsilon=" << epsilon;
+    }
+  }
+  EXPECT_THROW((void)riondato_pivot_count(100, 0.0, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)riondato_pivot_count(100, 1.0, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)riondato_pivot_count(100, 0.1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)approx_error_bound(100, 0, 0.01),
+               std::invalid_argument);
+}
+
+TEST(RankStability, MeasuredBetweennessErrorStaysWithinTheBound) {
+  math::Rng rng(411);
+  const DiGraph g = firmware_like_cfg(600, rng);
+  const std::size_t n = g.node_count();
+  const auto exact = centrality_scores(g);
+
+  const double epsilon = 0.2;
+  const double delta = 0.1;
+  const std::size_t r = riondato_pivot_count(n, epsilon, delta);
+  ASSERT_LT(r, n);
+  auto options = approx_options(r);
+  const auto approx = centrality_scores(g, options);
+
+  double max_error = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    max_error = std::max(
+        max_error, std::abs(exact.betweenness[v] - approx.betweenness[v]));
+  }
+  EXPECT_LE(max_error, approx_error_bound(n, r, delta))
+      << "max additive betweenness error " << max_error << " with " << r
+      << " pivots";
+}
+
+TEST(RankStability, FullPivotSetReproducesExactBitForBit) {
+  math::Rng rng(929);
+  std::vector<Shape> shapes = agreement_shapes();
+  shapes.push_back({"chain", chain_graph(64, 8, rng)});
+  shapes.push_back({"complete", complete_digraph(32)});
+  for (const auto& shape : shapes) {
+    SCOPED_TRACE(shape.name);
+    const std::size_t n = shape.graph.node_count();
+    EXPECT_EQ(resolved_pivot_count(n, approx_options(n).approx), n);
+    EXPECT_EQ(pivot_nodes(shape.graph, approx_options(n).approx).size(), n);
+
+    const auto exact = centrality_scores(shape.graph);
+    const auto full = centrality_scores(shape.graph, approx_options(n));
+    // Bitwise: integer-exact accumulators and symmetric distances make
+    // the estimators *equal* the exact formulas at a full pivot set.
+    EXPECT_EQ(exact.betweenness, full.betweenness);
+    EXPECT_EQ(exact.closeness, full.closeness);
+  }
+}
+
+TEST(RankStability, PivotDrawIsDeterministicAndSeedSensitive) {
+  math::Rng rng(5150);
+  const DiGraph g = firmware_like_cfg(500, rng);
+  const auto options = approx_options(100, 11);
+  const auto pivots_a = pivot_nodes(g, options.approx);
+  const auto pivots_b = pivot_nodes(g, options.approx);
+  EXPECT_EQ(pivots_a, pivots_b);
+  EXPECT_EQ(pivots_a.size(), 100U);
+  EXPECT_TRUE(std::is_sorted(pivots_a.begin(), pivots_a.end()));
+
+  auto reseeded = options;
+  reseeded.approx.seed = 12;
+  EXPECT_NE(pivot_nodes(g, reseeded.approx), pivots_a)
+      << "a different seed must draw a different pivot sample";
+
+  // Same seed => same scores, run over run.
+  const auto scores_a = centrality_scores(g, options);
+  const auto scores_b = centrality_scores(g, options);
+  EXPECT_EQ(scores_a.betweenness, scores_b.betweenness);
+  EXPECT_EQ(scores_a.closeness, scores_b.closeness);
+}
+
+TEST(RankStability, ApproxScoresBitIdenticalAcrossThreadCounts) {
+  math::Rng rng(808);
+  const DiGraph g = firmware_like_cfg(800, rng);
+  auto options = approx_options(200);
+  options.num_threads = 1;
+  const auto baseline = centrality_scores(g, options);
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    options.num_threads = threads;
+    const auto scores = centrality_scores(g, options);
+    EXPECT_EQ(scores.betweenness, baseline.betweenness)
+        << threads << " threads";
+    EXPECT_EQ(scores.closeness, baseline.closeness) << threads << " threads";
+  }
+}
+
+TEST(RankStability, PivotPrioritiesAreEquivariantUnderNodePermutation) {
+  math::Rng rng(2718);
+  const std::uint64_t seed = 0xfeed;
+
+  // Priority equivariance holds for *every* graph: permute the nodes,
+  // and each node carries its priority along.
+  bool checked_distinct = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const DiGraph g = random_connected_dag_plus(300, 0.04, rng);
+    const std::size_t n = g.node_count();
+    SCOPED_TRACE("attempt " + std::to_string(attempt));
+
+    // pi maps old node id -> new node id; entry stays 0 for realism.
+    auto perm = rng.permutation(n - 1);
+    std::vector<NodeId> pi(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) pi[i + 1] = perm[i] + 1;
+    DiGraph permuted(n);
+    for (const auto& [u, v] : g.edges()) permuted.add_edge(pi[u], pi[v]);
+
+    const auto priorities = pivot_priorities(g, seed);
+    const auto permuted_priorities = pivot_priorities(permuted, seed);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(permuted_priorities[pi[v]], priorities[v]) << "node " << v;
+    }
+
+    // When the priorities separate every node, the pivot *set* maps
+    // through the permutation too — the property the approximate
+    // labeling permutation test builds on. Graphs with automorphic
+    // nodes (e.g. the twin leaves of firmware chain bodies) can tie,
+    // so run this half on the first shape whose signatures are
+    // all distinct.
+    auto sorted = priorities;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      continue;
+    }
+    checked_distinct = true;
+    const auto pivots = pivot_nodes(g, approx_options(80, seed).approx);
+    auto mapped = pivots;
+    for (auto& v : mapped) v = pi[v];
+    std::sort(mapped.begin(), mapped.end());
+    EXPECT_EQ(pivot_nodes(permuted, approx_options(80, seed).approx),
+              mapped);
+    break;
+  }
+  ASSERT_TRUE(checked_distinct)
+      << "no candidate shape had fully distinct signatures";
+}
+
+TEST(RankStability, RankAgreementAcrossGraphClasses) {
+  for (const auto& shape : agreement_shapes()) {
+    SCOPED_TRACE(shape.name);
+    const std::size_t n = shape.graph.node_count();
+    const auto exact = centrality_scores(shape.graph);
+    const auto cf_exact = centrality_factor_of(exact);
+
+    // Default parameters — the configuration that actually ships.
+    const std::size_t default_pivots =
+        resolved_pivot_count(n, ApproxCentralityOptions{});
+    ASSERT_LT(default_pivots, n) << "shape too small to sample";
+    {
+      CentralityOptions options;
+      options.approximate = true;
+      const auto cf_approx =
+          centrality_factor_of(centrality_scores(shape.graph, options));
+      const double rho = spearman(cf_exact, cf_approx);
+      const double top_k = top_k_overlap(cf_exact, cf_approx, n / 10);
+      RecordProperty("default_spearman_" + shape.name, std::to_string(rho));
+      RecordProperty("default_top_k_" + shape.name, std::to_string(top_k));
+      EXPECT_GE(rho, shape.default_rho)
+          << "CF Spearman on " << shape.name << ": " << rho;
+      EXPECT_GE(top_k, shape.default_top_k)
+          << "CF top-10% overlap on " << shape.name << ": " << top_k;
+    }
+
+    // Aggressive sub-sampling (an eighth of the default pivot budget):
+    // agreement degrades gracefully, it does not collapse. These
+    // looser floors document the trade-off, not the shipped quality.
+    {
+      const auto cf_approx = centrality_factor_of(centrality_scores(
+          shape.graph, approx_options(default_pivots / 8)));
+      const double rho = spearman(cf_exact, cf_approx);
+      const double top_k = top_k_overlap(cf_exact, cf_approx, n / 10);
+      RecordProperty("subsampled_spearman_" + shape.name,
+                     std::to_string(rho));
+      RecordProperty("subsampled_top_k_" + shape.name,
+                     std::to_string(top_k));
+      EXPECT_GE(rho, shape.subsampled_rho)
+          << "sub-sampled CF Spearman on " << shape.name << ": " << rho;
+      EXPECT_GE(top_k, shape.subsampled_top_k)
+          << "sub-sampled CF top-10% overlap on " << shape.name << ": "
+          << top_k;
+    }
+  }
+}
+
+TEST(RankStability, LabelAgreementEndToEndThroughLabelBoth) {
+  math::Rng rng(31337);
+  const cfg::Cfg sample(firmware_like_cfg(2000, rng), 0);
+
+  cfg::LabelingOptions options;
+  options.approx_centrality_threshold = 1;  // approximate at any size
+  ASSERT_TRUE(cfg::approximate_labeling(options, sample.node_count()));
+
+  const auto exact = cfg::label_both(sample);
+  const auto approx = cfg::label_both(sample, options);
+  const double dbl_rho =
+      spearman(as_doubles(exact.dbl), as_doubles(approx.dbl));
+  const double lbl_rho =
+      spearman(as_doubles(exact.lbl), as_doubles(approx.lbl));
+  RecordProperty("dbl_spearman", std::to_string(dbl_rho));
+  RecordProperty("lbl_spearman", std::to_string(lbl_rho));
+  EXPECT_GE(dbl_rho, 0.99) << "DBL label Spearman: " << dbl_rho;
+  EXPECT_GE(lbl_rho, 0.99) << "LBL label Spearman: " << lbl_rho;
+}
+
+// The headline acceptance case: a firmware-scale CFG at n = 10,000
+// under the *default* approximation parameters, against one exact
+// sweep. The >= 5x wall-clock gain is asserted (fail-loud) by
+// bench/perf_graph; here the sweep-count ratio and the rank agreements
+// are pinned.
+TEST(RankStability, FirmwareScaleHeadlineAgreement) {
+  if (kSanitized) {
+    GTEST_SKIP() << "exact n=10,000 sweep is too slow under sanitizers";
+  }
+  math::Rng rng(90210);
+  const cfg::Cfg sample(firmware_like_cfg(10'000, rng), 0);
+  const std::size_t n = sample.node_count();
+
+  cfg::LabelingOptions options;
+  options.approx_centrality_threshold = 10'000;
+  ASSERT_TRUE(cfg::approximate_labeling(options, n));
+  const std::size_t pivots = resolved_pivot_count(n, options.approx);
+  // The sweep-count ratio backs the >= 5x wall-clock acceptance: the
+  // approximation must do at most a fifth of the exact source sweeps.
+  EXPECT_LE(pivots * 5, n) << pivots << " pivots for n=" << n;
+
+  const auto ranks_exact = cfg::node_ranks(sample);
+  const auto ranks_approx = cfg::node_ranks(sample, options);
+  ASSERT_EQ(ranks_exact.size(), n);
+  ASSERT_EQ(ranks_approx.size(), n);
+
+  std::vector<double> cf_exact(n);
+  std::vector<double> cf_approx(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    cf_exact[v] = ranks_exact[v].centrality_factor;
+    cf_approx[v] = ranks_approx[v].centrality_factor;
+    // Density and level are centrality-independent: identical.
+    ASSERT_EQ(ranks_exact[v].density, ranks_approx[v].density);
+    ASSERT_EQ(ranks_exact[v].level, ranks_approx[v].level);
+  }
+  const double top_k = top_k_overlap(cf_exact, cf_approx, n / 10);
+  RecordProperty("headline_top_k", std::to_string(top_k));
+  EXPECT_GE(top_k, 0.95) << "CF top-10% overlap at n=10,000: " << top_k;
+
+  const auto dbl_exact =
+      cfg::labels_from_ranks(ranks_exact, cfg::LabelingMethod::kDensity);
+  const auto dbl_approx =
+      cfg::labels_from_ranks(ranks_approx, cfg::LabelingMethod::kDensity);
+  const auto lbl_exact =
+      cfg::labels_from_ranks(ranks_exact, cfg::LabelingMethod::kLevel);
+  const auto lbl_approx =
+      cfg::labels_from_ranks(ranks_approx, cfg::LabelingMethod::kLevel);
+  const double dbl_rho =
+      spearman(as_doubles(dbl_exact), as_doubles(dbl_approx));
+  const double lbl_rho =
+      spearman(as_doubles(lbl_exact), as_doubles(lbl_approx));
+  RecordProperty("headline_dbl_spearman", std::to_string(dbl_rho));
+  RecordProperty("headline_lbl_spearman", std::to_string(lbl_rho));
+  EXPECT_GE(dbl_rho, 0.99) << "DBL label Spearman at n=10,000: " << dbl_rho;
+  EXPECT_GE(lbl_rho, 0.99) << "LBL label Spearman at n=10,000: " << lbl_rho;
+}
+
+}  // namespace
+}  // namespace soteria::graph

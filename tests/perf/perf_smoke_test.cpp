@@ -152,5 +152,56 @@ TEST(PerfSmoke, RecordedServeSweepHasTheNewSchema) {
   }
 }
 
+TEST(PerfSmoke, RecordedGraphSweepHasExactAndApproxKeys) {
+  // When a BENCH_perf.json is reachable, its perf_graph section must
+  // carry the exact-vs-approximate sweep shape: distinct "exact.*" and
+  // "approx.*" timing keys (the two paths must never alias), the
+  // recorded pivot counts, and the n=10,000 speedup ratio the bench
+  // gates on. Stale "centrality.*" keys from the pre-approximation
+  // sweep mean the bench and its consumers have drifted apart.
+  std::string contents;
+  for (const char* candidate :
+       {"BENCH_perf.json", "../BENCH_perf.json", "../../BENCH_perf.json"}) {
+    std::ifstream in(candidate);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      contents = buffer.str();
+      break;
+    }
+  }
+  if (contents.empty()) {
+    GTEST_SKIP() << "no BENCH_perf.json in reach; bench not yet run here";
+  }
+
+  const auto parsed = obs::json::parse(contents);
+  const auto& document = parsed.as_object();
+  const auto it = document.find("perf_graph");
+  if (it == document.end()) {
+    GTEST_SKIP() << "BENCH_perf.json has no perf_graph section yet";
+  }
+  const auto& section = it->second.as_object();
+  for (const char* key :
+       {"exact.n1000.t1.ms", "exact.n10000.t1.ms", "exact.n10000.t8.ms",
+        "exact.n50000.t1.ms", "approx.n10000.t1.ms", "approx.n10000.t8.ms",
+        "approx.n50000.t1.ms"}) {
+    ASSERT_TRUE(section.count(key)) << key;
+    EXPECT_GT(section.at(key).as_number(), 0.0) << key;
+  }
+  for (const char* key : {"approx.n10000.pivots", "approx.n50000.pivots"}) {
+    ASSERT_TRUE(section.count(key)) << key;
+    EXPECT_GE(section.at(key).as_number(), 1.0) << key;
+  }
+  // The bench exits non-zero below 5x; a recorded document must
+  // therefore always carry a passing ratio.
+  ASSERT_TRUE(section.count("approx.n10000.speedup_over_exact_t1"));
+  EXPECT_GE(section.at("approx.n10000.speedup_over_exact_t1").as_number(),
+            5.0);
+  // The rewrite replaced the section wholesale: no stale keys.
+  for (const auto& [key, value] : section) {
+    EXPECT_NE(key.rfind("centrality.", 0), 0U) << "stale key " << key;
+  }
+}
+
 }  // namespace
 }  // namespace soteria
