@@ -9,10 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <string>
 
+#include "common/perf_json.h"
 #include "math/matrix.h"
 #include "nn/autoencoder.h"
 #include "nn/cnn.h"
@@ -43,6 +47,24 @@ void BM_Matmul(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(256)->Arg(512);
+
+// The preserved naive oracle at the same shapes, so the blocked
+// kernel's margin (and any regression of it) is visible in one run.
+void BM_MatmulReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(1);
+  math::Matrix a(n, n);
+  math::Matrix b(n, n);
+  a.fill_normal(rng, 0.0F, 1.0F);
+  b.fill_normal(rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::matmul_reference(a, b));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatmulReference)->Arg(64)->Arg(256)->Arg(512);
 
 void BM_AutoencoderForward(benchmark::State& state) {
   math::Rng rng(2);
@@ -169,6 +191,64 @@ BENCHMARK(BM_ParallelAutoencoderInfer)
     ->Arg(static_cast<std::int64_t>(soteria::runtime::hardware_threads()))
     ->UseRealTime();
 
+/// Hand-timed GEMM GFLOP/s for the blocked kernel and the preserved
+/// naive reference, recorded in the "perf_nn" section of
+/// BENCH_perf.json so kernel regressions show up independently of the
+/// end-to-end sweeps.
+void emit_gemm_gflops() {
+  std::map<std::string, double> json_values;
+  std::string report = "-- GEMM GFLOP/s (blocked vs reference) --\n";
+  for (const std::size_t n : {256U, 512U}) {
+    math::Rng rng(7);
+    math::Matrix a(n, n);
+    math::Matrix b(n, n);
+    a.fill_normal(rng, 0.0F, 1.0F);
+    b.fill_normal(rng, 0.0F, 1.0F);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+    const auto time_gflops = [&](auto&& kernel) {
+      // Enough iterations to cross ~100ms of work.
+      double best = 0.0;
+      for (std::size_t rep = 0; rep < 3; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(kernel(a, b));
+        const std::chrono::duration<double> delta =
+            std::chrono::steady_clock::now() - start;
+        best = std::max(best, flops / delta.count() * 1e-9);
+      }
+      return best;
+    };
+    const double blocked = time_gflops(
+        [](const math::Matrix& x, const math::Matrix& y) {
+          return math::matmul(x, y);
+        });
+    const double reference = time_gflops(
+        [](const math::Matrix& x, const math::Matrix& y) {
+          return math::matmul_reference(x, y);
+        });
+
+    char line[120];
+    std::snprintf(line, sizeof(line),
+                  "n=%zu  blocked %6.2f GFLOP/s  reference %6.2f GFLOP/s  "
+                  "%4.1fx\n",
+                  n, blocked, reference,
+                  reference > 0.0 ? blocked / reference : 0.0);
+    report += line;
+
+    char key[48];
+    std::snprintf(key, sizeof(key), "gemm_%zu_", n);
+    json_values[std::string(key) + "blocked_gflops"] = blocked;
+    json_values[std::string(key) + "reference_gflops"] = reference;
+    json_values[std::string(key) + "speedup"] =
+        reference > 0.0 ? blocked / reference : 0.0;
+  }
+  std::printf("\n%s", report.c_str());
+  if (soteria::bench::update_perf_json("BENCH_perf.json", "perf_nn",
+                                       json_values)) {
+    std::printf("GEMM GFLOP/s recorded in BENCH_perf.json\n");
+  }
+}
+
 /// Trains a small autoencoder and CNN with metrics on and exports the
 /// per-epoch spans, loss gauge, and epoch counters.
 void emit_stage_breakdown() {
@@ -227,6 +307,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  emit_gemm_gflops();
   emit_stage_breakdown();
   return 0;
 }

@@ -80,7 +80,15 @@ GramCounts FeaturePipeline::gram_counts_for_labels(
     const cfg::Cfg& cfg, const std::vector<cfg::Label>& labels,
     math::Rng& rng) const {
   const auto walks = labeled_walks(cfg, labels, config_.walk, rng);
-  return count_grams(walks, config_.gram_sizes);
+  // Counting goes through the open-addressing counter (integer
+  // accumulation, so the resulting map is identical to the reference);
+  // fit() has no fitted vocabulary yet, so the dense count_into_vocab
+  // path is not available here.
+  FlatGramCounter counter(1024);
+  for (const auto& walk : walks) {
+    counter.count_walk(walk, config_.gram_sizes);
+  }
+  return counter.to_counts();
 }
 
 GramCounts FeaturePipeline::gram_counts(const cfg::Cfg& cfg,
@@ -159,44 +167,59 @@ SampleFeatures FeaturePipeline::extract(const cfg::Cfg& cfg,
       labeled_walks(cfg, labelings.lbl, config_.walk, rng);
 
   // Staged so the gram-counting and vectorisation costs show up as
-  // separate spans in the timing tree.
-  std::vector<GramCounts> dbl_counts;
-  std::vector<GramCounts> lbl_counts;
+  // separate spans in the timing tree. Counting uses the rolling
+  // packed-key update into the general map representation — the same
+  // intermediate the training path and gram_counts() produce. The
+  // vocabulary-fused dense counting (count_into_vocab straight into TF
+  // rows, no map at all) is deliberately left to the frozen model
+  // (soteria/frozen.*): it requires a baked per-vocabulary lookup
+  // structure, which is exactly what freezing is for. The map and
+  // dense TF-IDF overloads are bit-identical, so both paths produce
+  // the same vectors.
+  const std::size_t dbl_dim = dbl_vocab_.size();
+  const std::size_t lbl_dim = lbl_vocab_.size();
+  std::vector<GramCounts> dbl_maps(dbl_walks.size());
+  std::vector<GramCounts> lbl_maps(lbl_walks.size());
   GramCounts dbl_pooled;
   GramCounts lbl_pooled;
   {
     const obs::Span ngram_span("features.ngrams");
-    dbl_counts.reserve(dbl_walks.size());
-    for (const auto& walk : dbl_walks) {
-      GramCounts counts;
-      count_grams(walk, config_.gram_sizes, counts);
-      for (const auto& [key, count] : counts) dbl_pooled[key] += count;
-      dbl_counts.push_back(std::move(counts));
+    // Reserve once per map: a walk yields several hundred distinct
+    // grams, and letting unordered_map grow through its default
+    // rehash ladder costs more than the counting itself.
+    dbl_pooled.reserve(4096);
+    lbl_pooled.reserve(4096);
+    for (std::size_t w = 0; w < dbl_walks.size(); ++w) {
+      dbl_maps[w].reserve(2048);
+      count_grams(dbl_walks[w], config_.gram_sizes, dbl_maps[w]);
+      for (const auto& [key, count] : dbl_maps[w]) dbl_pooled[key] += count;
     }
-    lbl_counts.reserve(lbl_walks.size());
-    for (const auto& walk : lbl_walks) {
-      GramCounts counts;
-      count_grams(walk, config_.gram_sizes, counts);
-      for (const auto& [key, count] : counts) lbl_pooled[key] += count;
-      lbl_counts.push_back(std::move(counts));
+    for (std::size_t w = 0; w < lbl_walks.size(); ++w) {
+      lbl_maps[w].reserve(2048);
+      count_grams(lbl_walks[w], config_.gram_sizes, lbl_maps[w]);
+      for (const auto& [key, count] : lbl_maps[w]) lbl_pooled[key] += count;
     }
   }
   {
     const obs::Span tfidf_span("features.tfidf");
-    features.dbl.reserve(dbl_counts.size());
-    for (const auto& counts : dbl_counts) {
-      features.dbl.push_back(
-          dbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
+    features.dbl.resize(dbl_walks.size());
+    for (std::size_t w = 0; w < dbl_walks.size(); ++w) {
+      features.dbl[w].resize(dbl_dim);
+      dbl_vocab_.tfidf_into(dbl_maps[w], features.dbl[w],
+                            config_.l2_normalize);
     }
-    features.lbl.reserve(lbl_counts.size());
-    for (const auto& counts : lbl_counts) {
-      features.lbl.push_back(
-          lbl_vocab_.tfidf_vector(counts, config_.l2_normalize));
+    features.lbl.resize(lbl_walks.size());
+    for (std::size_t w = 0; w < lbl_walks.size(); ++w) {
+      features.lbl[w].resize(lbl_dim);
+      lbl_vocab_.tfidf_into(lbl_maps[w], features.lbl[w],
+                            config_.l2_normalize);
     }
-    features.pooled_dbl =
-        dbl_vocab_.tfidf_vector(dbl_pooled, config_.l2_normalize);
-    features.pooled_lbl =
-        lbl_vocab_.tfidf_vector(lbl_pooled, config_.l2_normalize);
+    features.pooled_dbl.resize(dbl_dim);
+    dbl_vocab_.tfidf_into(dbl_pooled, features.pooled_dbl,
+                          config_.l2_normalize);
+    features.pooled_lbl.resize(lbl_dim);
+    lbl_vocab_.tfidf_into(lbl_pooled, features.pooled_lbl,
+                          config_.l2_normalize);
   }
   return features;
 }

@@ -3,11 +3,36 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "io/binary_io.h"
 #include "soteria/error.h"
 
 namespace soteria::features {
+
+namespace {
+
+/// Shared L2 pass: both tfidf_into overloads normalize the same way so
+/// their outputs stay bit-identical.
+void l2_normalize_in_place(std::span<float> vec) {
+  float norm_sq = 0.0F;
+  for (float x : vec) norm_sq += x * x;
+  if (norm_sq > 0.0F) {
+    const float inv = 1.0F / std::sqrt(norm_sq);
+    for (float& x : vec) x *= inv;
+  }
+}
+
+}  // namespace
+
+void Vocabulary::finalize_tables() {
+  idf_f_.resize(idf_.size());
+  for (std::size_t i = 0; i < idf_.size(); ++i) {
+    idf_f_[i] = static_cast<float>(idf_[i]);
+  }
+  hash_ = PerfectGramHash::build(grams_);
+}
 
 Vocabulary Vocabulary::build(const std::vector<GramCounts>& corpus,
                              std::size_t top_k) {
@@ -48,38 +73,52 @@ Vocabulary Vocabulary::build(const std::vector<GramCounts>& corpus,
     vocab.frequencies_.push_back(total);
     const double df = static_cast<double>(document_frequency[key]);
     vocab.idf_.push_back(std::log((1.0 + n_docs) / (1.0 + df)) + 1.0);
-    vocab.index_.emplace(key, i);
   }
+  vocab.finalize_tables();
   return vocab;
 }
 
 std::optional<std::size_t> Vocabulary::index_of(GramKey key) const {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  const std::size_t idx = hash_.lookup(key);
+  if (idx == PerfectGramHash::npos) return std::nullopt;
+  return idx;
 }
 
 std::vector<float> Vocabulary::tfidf_vector(const GramCounts& counts,
                                             bool l2_normalize) const {
   std::vector<float> vec(grams_.size(), 0.0F);
-  const auto total = static_cast<double>(total_occurrences(counts));
-  if (total == 0.0) return vec;
-  for (const auto& [key, count] : counts) {
-    const auto idx = index_of(key);
-    if (!idx.has_value()) continue;
-    const double tf = static_cast<double>(count) / total;
-    vec[*idx] = static_cast<float>(tf * idf_[*idx]);
-  }
-  if (l2_normalize) {
-    double norm = 0.0;
-    for (float x : vec) norm += static_cast<double>(x) * x;
-    norm = std::sqrt(norm);
-    if (norm > 0.0) {
-      const auto inv = static_cast<float>(1.0 / norm);
-      for (float& x : vec) x *= inv;
-    }
-  }
+  tfidf_into(counts, vec, l2_normalize);
   return vec;
+}
+
+void Vocabulary::tfidf_into(const GramCounts& counts, std::span<float> out,
+                            bool l2_normalize) const {
+  std::fill(out.begin(), out.end(), 0.0F);
+  const std::uint64_t total = total_occurrences(counts);
+  if (total == 0) return;
+  // Each selected slot is written at most once (map keys are
+  // distinct), so iteration order cannot change the result.
+  const float inv_total = 1.0F / static_cast<float>(total);
+  for (const auto& [key, count] : counts) {
+    const std::size_t idx = hash_.lookup(key);
+    if (idx == PerfectGramHash::npos) continue;
+    out[idx] = (static_cast<float>(count) * inv_total) * idf_f_[idx];
+  }
+  if (l2_normalize) l2_normalize_in_place(out);
+}
+
+void Vocabulary::tfidf_into(std::span<const std::uint32_t> counts_by_index,
+                            std::uint64_t total_occurrences,
+                            std::span<float> out, bool l2_normalize) const {
+  std::fill(out.begin(), out.end(), 0.0F);
+  if (total_occurrences == 0) return;
+  const float inv_total = 1.0F / static_cast<float>(total_occurrences);
+  for (std::size_t i = 0; i < counts_by_index.size(); ++i) {
+    const std::uint32_t count = counts_by_index[i];
+    if (count == 0) continue;
+    out[i] = (static_cast<float>(count) * inv_total) * idf_f_[i];
+  }
+  if (l2_normalize) l2_normalize_in_place(out);
 }
 
 void Vocabulary::save(std::ostream& out) const {
@@ -98,8 +137,12 @@ Vocabulary Vocabulary::load(std::istream& in) {
     throw core::Error(core::ErrorCode::kCorruptModel,
                       "Vocabulary::load: inconsistent table sizes");
   }
-  for (std::size_t i = 0; i < vocab.grams_.size(); ++i) {
-    vocab.index_.emplace(vocab.grams_[i], i);
+  try {
+    vocab.finalize_tables();
+  } catch (const std::invalid_argument& error) {
+    // Duplicate or zero gram keys can only come from a corrupt stream.
+    throw core::Error(core::ErrorCode::kCorruptModel,
+                      std::string("Vocabulary::load: ") + error.what());
   }
   return vocab;
 }

@@ -4,12 +4,18 @@
 // The paper keeps the 500 most frequent grams per labeling method and
 // weights counts with TF-IDF, so a sample's feature vector is
 // tf(g, sample) * idf(g, corpus) over the selected grams.
+//
+// Lookup is a minimal perfect hash over the selected grams (built at
+// fit/load time), and the TF-IDF arithmetic stays in float throughout —
+// both the map-based and the dense `tfidf_into` overloads perform the
+// identical per-slot operations, so the interpreted and frozen paths
+// produce bit-identical vectors.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "features/ngram.h"
@@ -51,6 +57,11 @@ class Vocabulary {
     return idf_;
   }
 
+  /// The minimal perfect hash over the selected grams; shared with
+  /// count_into_vocab so counting can accumulate straight into the
+  /// dense TF vector.
+  [[nodiscard]] const PerfectGramHash& hash() const noexcept { return hash_; }
+
   /// TF-IDF feature vector for one bag of gram counts. Dimension ==
   /// size(). Unselected grams are ignored. With `l2_normalize` the
   /// vector is scaled to unit norm; without it, term frequencies stay
@@ -58,6 +69,20 @@ class Vocabulary {
   /// mass fraction (which structural attacks shift) remains visible.
   [[nodiscard]] std::vector<float> tfidf_vector(
       const GramCounts& counts, bool l2_normalize = true) const;
+
+  /// Writes the TF-IDF vector for `counts` into `out` (size() floats),
+  /// overwriting it. Bit-identical to tfidf_vector.
+  void tfidf_into(const GramCounts& counts, std::span<float> out,
+                  bool l2_normalize = true) const;
+
+  /// Dense-input overload for the fast path: `counts_by_index` holds
+  /// per-selected-gram counts (index order, size() entries) and
+  /// `total_occurrences` the full window total including
+  /// out-of-vocabulary grams (as returned by count_into_vocab).
+  /// Bit-identical to the map overload on equivalent inputs.
+  void tfidf_into(std::span<const std::uint32_t> counts_by_index,
+                  std::uint64_t total_occurrences, std::span<float> out,
+                  bool l2_normalize = true) const;
 
   /// Default-constructed empty vocabulary (no grams selected); useful as
   /// a placeholder before fitting.
@@ -69,10 +94,13 @@ class Vocabulary {
   [[nodiscard]] static Vocabulary load(std::istream& in);
 
  private:
+  void finalize_tables();
+
   std::vector<GramKey> grams_;
   std::vector<std::uint64_t> frequencies_;
   std::vector<double> idf_;
-  std::unordered_map<GramKey, std::size_t> index_;
+  std::vector<float> idf_f_;  // idf_ narrowed once, not per gram per sample
+  PerfectGramHash hash_;
 };
 
 }  // namespace soteria::features

@@ -1,5 +1,6 @@
 #include "math/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -138,9 +139,127 @@ std::string Matrix::shape_string() const {
   return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
 }
 
+namespace {
+
+/// k-panel height for the blocked kernels: a panel of B rows (up to
+/// kKBlock x n floats) stays hot in L2 while every row tile of A
+/// streams across it.
+constexpr std::size_t kKBlock = 256;
+
+/// A-row tile height: four C rows accumulate against each B row load,
+/// quartering the B traffic per flop.
+constexpr std::size_t kRowUnroll = 4;
+
+}  // namespace
+
+void matmul_into(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n) noexcept {
+  std::fill(c, c + m * n, 0.0F);
+  // Per output cell the k-products accumulate in ascending kk order
+  // (blocks ascending, kk ascending inside each block) with the same
+  // `crow[j] += aik * brow[j]` statement as the naive reference, so
+  // the result is bit-identical for finite inputs. Skipping all-zero
+  // A tiles is bitwise-neutral: adding a signed zero never changes a
+  // finite accumulator that is not itself -0, and the accumulators
+  // start at +0 and can never turn -0 (exact cancellation rounds to
+  // +0 in round-to-nearest).
+  for (std::size_t kb = 0; kb < k; kb += kKBlock) {
+    const std::size_t kend = std::min(kb + kKBlock, k);
+    std::size_t i = 0;
+    for (; i + kRowUnroll <= m; i += kRowUnroll) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float* c0 = c + (i + 0) * n;
+      float* c1 = c + (i + 1) * n;
+      float* c2 = c + (i + 2) * n;
+      float* c3 = c + (i + 3) * n;
+      for (std::size_t kk = kb; kk < kend; ++kk) {
+        const float a0k = a0[kk];
+        const float a1k = a1[kk];
+        const float a2k = a2[kk];
+        const float a3k = a3[kk];
+        if (a0k == 0.0F && a1k == 0.0F && a2k == 0.0F && a3k == 0.0F) {
+          continue;
+        }
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          c0[j] += a0k * brow[j];
+          c1[j] += a1k * brow[j];
+          c2[j] += a2k * brow[j];
+          c3[j] += a3k * brow[j];
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::size_t kk = kb; kk < kend; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0F) continue;
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void matmul_at_into(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n) noexcept {
+  std::fill(c, c + m * n, 0.0F);
+  for (std::size_t kb = 0; kb < k; kb += kKBlock) {
+    const std::size_t kend = std::min(kb + kKBlock, k);
+    std::size_t i = 0;
+    for (; i + kRowUnroll <= m; i += kRowUnroll) {
+      float* c0 = c + (i + 0) * n;
+      float* c1 = c + (i + 1) * n;
+      float* c2 = c + (i + 2) * n;
+      float* c3 = c + (i + 3) * n;
+      for (std::size_t kk = kb; kk < kend; ++kk) {
+        const float* arow = a + kk * m;
+        const float a0k = arow[i + 0];
+        const float a1k = arow[i + 1];
+        const float a2k = arow[i + 2];
+        const float a3k = arow[i + 3];
+        if (a0k == 0.0F && a1k == 0.0F && a2k == 0.0F && a3k == 0.0F) {
+          continue;
+        }
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          c0[j] += a0k * brow[j];
+          c1[j] += a1k * brow[j];
+          c2[j] += a2k * brow[j];
+          c3[j] += a3k * brow[j];
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      float* crow = c + i * n;
+      for (std::size_t kk = kb; kk < kend; ++kk) {
+        const float aki = a[kk * m + i];
+        if (aki == 0.0F) continue;
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  }
+}
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("matmul: inner dimensions " +
+                                a.shape_string() + " * " + b.shape_string());
+  }
+  Matrix c(a.rows(), b.cols(), 0.0F);
+  matmul_into(a.data().data(), b.data().data(), c.data().data(), a.rows(),
+              a.cols(), b.cols());
+  return c;
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_reference: inner dimensions " +
                                 a.shape_string() + " * " + b.shape_string());
   }
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -174,6 +293,18 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
 Matrix matmul_at(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("matmul_at: inner dimensions " +
+                                a.shape_string() + "^T * " +
+                                b.shape_string());
+  }
+  Matrix c(a.cols(), b.cols(), 0.0F);
+  matmul_at_into(a.data().data(), b.data().data(), c.data().data(), a.cols(),
+                 a.rows(), b.cols());
+  return c;
+}
+
+Matrix matmul_at_reference(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_at_reference: inner dimensions " +
                                 a.shape_string() + "^T * " +
                                 b.shape_string());
   }

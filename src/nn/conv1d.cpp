@@ -34,27 +34,67 @@ math::Matrix Conv1d::forward(const math::Matrix& input, bool /*training*/) {
   return infer(input);
 }
 
-math::Matrix Conv1d::infer(const math::Matrix& input) const {
-  const std::size_t expected = in_channels_ * in_length_;
-  if (input.cols() != expected) {
-    throw std::invalid_argument("Conv1d::forward: input width " +
-                                std::to_string(input.cols()) + " != " +
-                                std::to_string(expected));
-  }
-  const std::size_t out_len = out_length();
-  math::Matrix out(input.rows(), out_channels_ * out_len, 0.0F);
-  for (std::size_t r = 0; r < input.rows(); ++r) {
-    const float* in_row = input.data().data() + r * input.cols();
-    float* out_row = out.data().data() + r * out.cols();
-    for (std::size_t o = 0; o < out_channels_; ++o) {
-      const float* w = weights_.data().data() + o * weights_.cols();
-      const float b = bias_(0, o);
+void conv1d_infer_into(const float* in, float* out, const float* weights,
+                       const float* bias, std::size_t rows,
+                       std::size_t in_channels, std::size_t in_length,
+                       std::size_t out_channels, std::size_t kernel) noexcept {
+  const std::size_t out_len = in_length - kernel + 1;
+  const std::size_t w_cols = in_channels * kernel;
+  const std::size_t in_cols = in_channels * in_length;
+  const std::size_t out_cols = out_channels * out_len;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in_row = in + r * in_cols;
+    float* out_row = out + r * out_cols;
+    std::size_t o = 0;
+    // Output channels in pairs: each shifted input-channel load feeds
+    // two accumulator streams. Per output element the accumulation
+    // order (bias first, then ascending channel/tap) and the zero-tap
+    // skip are exactly the reference's, so results are bit-identical.
+    for (; o + 2 <= out_channels; o += 2) {
+      const float* wa = weights + (o + 0) * w_cols;
+      const float* wb = weights + (o + 1) * w_cols;
+      float* out_a = out_row + (o + 0) * out_len;
+      float* out_b = out_row + (o + 1) * out_len;
+      const float ba = bias[o + 0];
+      const float bb = bias[o + 1];
+      for (std::size_t t = 0; t < out_len; ++t) {
+        out_a[t] = ba;
+        out_b[t] = bb;
+      }
+      for (std::size_t c = 0; c < in_channels; ++c) {
+        const float* in_chan = in_row + c * in_length;
+        const float* wac = wa + c * kernel;
+        const float* wbc = wb + c * kernel;
+        for (std::size_t k = 0; k < kernel; ++k) {
+          const float wka = wac[k];
+          const float wkb = wbc[k];
+          const float* shifted = in_chan + k;
+          if (wka != 0.0F && wkb != 0.0F) {
+            for (std::size_t t = 0; t < out_len; ++t) {
+              out_a[t] += wka * shifted[t];
+              out_b[t] += wkb * shifted[t];
+            }
+          } else if (wka != 0.0F) {
+            for (std::size_t t = 0; t < out_len; ++t) {
+              out_a[t] += wka * shifted[t];
+            }
+          } else if (wkb != 0.0F) {
+            for (std::size_t t = 0; t < out_len; ++t) {
+              out_b[t] += wkb * shifted[t];
+            }
+          }
+        }
+      }
+    }
+    for (; o < out_channels; ++o) {
+      const float* w = weights + o * w_cols;
+      const float b = bias[o];
       float* out_chan = out_row + o * out_len;
       for (std::size_t t = 0; t < out_len; ++t) out_chan[t] = b;
-      for (std::size_t c = 0; c < in_channels_; ++c) {
-        const float* in_chan = in_row + c * in_length_;
-        const float* wc = w + c * kernel_;
-        for (std::size_t k = 0; k < kernel_; ++k) {
+      for (std::size_t c = 0; c < in_channels; ++c) {
+        const float* in_chan = in_row + c * in_length;
+        const float* wc = w + c * kernel;
+        for (std::size_t k = 0; k < kernel; ++k) {
           const float wk = wc[k];
           if (wk == 0.0F) continue;
           const float* shifted = in_chan + k;
@@ -65,6 +105,53 @@ math::Matrix Conv1d::infer(const math::Matrix& input) const {
       }
     }
   }
+}
+
+void conv1d_infer_reference_into(const float* in, float* out,
+                                 const float* weights, const float* bias,
+                                 std::size_t rows, std::size_t in_channels,
+                                 std::size_t in_length,
+                                 std::size_t out_channels,
+                                 std::size_t kernel) noexcept {
+  const std::size_t out_len = in_length - kernel + 1;
+  const std::size_t w_cols = in_channels * kernel;
+  const std::size_t in_cols = in_channels * in_length;
+  const std::size_t out_cols = out_channels * out_len;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* in_row = in + r * in_cols;
+    float* out_row = out + r * out_cols;
+    for (std::size_t o = 0; o < out_channels; ++o) {
+      const float* w = weights + o * w_cols;
+      const float b = bias[o];
+      float* out_chan = out_row + o * out_len;
+      for (std::size_t t = 0; t < out_len; ++t) out_chan[t] = b;
+      for (std::size_t c = 0; c < in_channels; ++c) {
+        const float* in_chan = in_row + c * in_length;
+        const float* wc = w + c * kernel;
+        for (std::size_t k = 0; k < kernel; ++k) {
+          const float wk = wc[k];
+          if (wk == 0.0F) continue;
+          const float* shifted = in_chan + k;
+          for (std::size_t t = 0; t < out_len; ++t) {
+            out_chan[t] += wk * shifted[t];
+          }
+        }
+      }
+    }
+  }
+}
+
+math::Matrix Conv1d::infer(const math::Matrix& input) const {
+  const std::size_t expected = in_channels_ * in_length_;
+  if (input.cols() != expected) {
+    throw std::invalid_argument("Conv1d::forward: input width " +
+                                std::to_string(input.cols()) + " != " +
+                                std::to_string(expected));
+  }
+  math::Matrix out(input.rows(), out_channels_ * out_length(), 0.0F);
+  conv1d_infer_into(input.data().data(), out.data().data(),
+                    weights_.data().data(), bias_.data().data(), input.rows(),
+                    in_channels_, in_length_, out_channels_, kernel_);
   return out;
 }
 

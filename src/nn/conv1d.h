@@ -13,6 +13,28 @@
 
 namespace soteria::nn {
 
+/// Raw direct-convolution kernel shared by Conv1d::infer and
+/// nn::FrozenNet. `in` is rows x (in_channels*in_length) channel-major,
+/// `out` rows x (out_channels*(in_length-kernel+1)), `weights`
+/// out_channels x (in_channels*kernel), `bias` out_channels. Each
+/// output element accumulates bias first, then channel/tap products in
+/// ascending (channel, tap) order. Processes output channels in pairs
+/// so each input-channel load feeds two accumulator streams;
+/// bit-identical to conv1d_infer_reference_into for finite inputs.
+void conv1d_infer_into(const float* in, float* out, const float* weights,
+                       const float* bias, std::size_t rows,
+                       std::size_t in_channels, std::size_t in_length,
+                       std::size_t out_channels, std::size_t kernel) noexcept;
+
+/// The original one-channel-at-a-time loop, preserved verbatim as the
+/// test oracle for the paired kernel (tests/infer).
+void conv1d_infer_reference_into(const float* in, float* out,
+                                 const float* weights, const float* bias,
+                                 std::size_t rows, std::size_t in_channels,
+                                 std::size_t in_length,
+                                 std::size_t out_channels,
+                                 std::size_t kernel) noexcept;
+
 class Conv1d : public Layer {
  public:
   /// Throws std::invalid_argument on zero sizes or kernel > in_length.
@@ -35,6 +57,15 @@ class Conv1d : public Layer {
   [[nodiscard]] std::size_t out_channels() const noexcept {
     return out_channels_;
   }
+  [[nodiscard]] std::size_t in_channels() const noexcept {
+    return in_channels_;
+  }
+  [[nodiscard]] std::size_t in_length() const noexcept { return in_length_; }
+  [[nodiscard]] std::size_t kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const math::Matrix& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] const math::Matrix& bias() const noexcept { return bias_; }
 
  private:
   std::size_t in_channels_;

@@ -31,7 +31,12 @@ math::Matrix Dense::infer(const math::Matrix& input) const {
                                 std::to_string(input.cols()) + " != " +
                                 std::to_string(in_dim_));
   }
-  math::Matrix out = math::matmul(input, weights_);
+  // Straight into the blocked GEMM kernel (shared with nn::FrozenNet),
+  // then the bias broadcast — bias is added after the full k-sum, an
+  // order the frozen path replicates exactly.
+  math::Matrix out(input.rows(), out_dim_, 0.0F);
+  math::matmul_into(input.data().data(), weights_.data().data(),
+                    out.data().data(), input.rows(), in_dim_, out_dim_);
   out.add_row_vector(bias_.row(0));
   return out;
 }

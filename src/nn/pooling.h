@@ -27,6 +27,9 @@ class MaxPool1d : public Layer {
   [[nodiscard]] std::size_t out_length() const noexcept {
     return in_length_ / window_;
   }
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t in_length() const noexcept { return in_length_; }
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
 
  private:
   std::size_t channels_;

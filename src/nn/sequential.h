@@ -62,6 +62,13 @@ class Sequential {
   /// One line per layer, for logs and model summaries.
   [[nodiscard]] std::string summary() const;
 
+  /// Read-only layer access; FrozenNet::compile walks this to bake the
+  /// stack into a flat op list.
+  [[nodiscard]] const std::vector<std::unique_ptr<Layer>>& layers()
+      const noexcept {
+    return layers_;
+  }
+
   /// Serializes all parameters (binary, with a magic header and per-
   /// tensor sizes). Architecture itself is not stored: load into a model
   /// constructed with the same topology. Throws std::runtime_error on

@@ -63,6 +63,16 @@ class AeDetector {
   [[nodiscard]] bool is_adversarial(const math::Matrix& sample_vectors)
       const;
 
+  /// Per-dimension residual standardization tables (calibration A).
+  /// FrozenModel::compile snapshots these alongside the autoencoder
+  /// weights.
+  [[nodiscard]] const std::vector<double>& residual_mean() const noexcept {
+    return residual_mean_;
+  }
+  [[nodiscard]] const std::vector<double>& residual_stddev() const noexcept {
+    return residual_stddev_;
+  }
+
   /// Current threshold Th = mu + alpha * sigma.
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
   [[nodiscard]] double training_mean() const noexcept { return mean_; }

@@ -1,0 +1,288 @@
+// The frozen fused model's whole-system identity contract: FrozenNet
+// must reproduce Sequential::infer bit-for-bit, and a frozen
+// SoteriaSystem must emit verdicts bitwise-identical to the
+// interpreted path — across thread counts, with and without the
+// feature store, and through every analyze entry point. Scores are
+// compared with EXPECT_EQ on the doubles: the documented tolerance is
+// 0 ulp, because the fused path replicates the interpreted arithmetic
+// operation for operation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "dataset/generator.h"
+#include "math/rng.h"
+#include "nn/autoencoder.h"
+#include "nn/cnn.h"
+#include "nn/frozen.h"
+#include "soteria/frozen.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
+#include "store/feature_store.h"
+
+namespace soteria::core {
+namespace {
+
+void expect_net_matches(const nn::Sequential& model, std::size_t input_dim,
+                        std::size_t rows, math::Rng& rng) {
+  const nn::FrozenNet net = nn::FrozenNet::compile(model, input_dim);
+  EXPECT_EQ(net.output_dim(), model.output_dimension(input_dim));
+  math::Matrix in(rows, input_dim);
+  in.fill_uniform(rng, -1.5F, 1.5F);
+  const math::Matrix oracle = model.infer(in);
+  std::vector<float> fused(rows * net.output_dim(), -7.0F);
+  nn::FrozenNet::Scratch scratch;
+  net.infer_into(in.data().data(), rows, fused.data(), scratch);
+  ASSERT_EQ(fused.size(), oracle.data().size());
+  EXPECT_EQ(0, std::memcmp(fused.data(), oracle.data().data(),
+                           fused.size() * sizeof(float)));
+}
+
+TEST(FrozenNetTest, CnnMatchesSequentialBitwise) {
+  math::Rng rng(61);
+  nn::CnnConfig arch;
+  arch.input_length = 60;
+  arch.filters = 6;
+  arch.dense_units = 24;
+  // Dropout layers are present in the built model and must compile
+  // away as inference identities.
+  nn::Sequential model = nn::build_cnn(arch, rng);
+  for (const std::size_t rows : {1U, 3U, 8U}) {
+    expect_net_matches(model, arch.input_length, rows, rng);
+  }
+}
+
+TEST(FrozenNetTest, AutoencoderMatchesSequentialBitwise) {
+  math::Rng rng(62);
+  nn::AutoencoderConfig arch;
+  arch.input_dim = 48;
+  arch.hidden_dims = {32, 40, 32};
+  nn::Sequential model = nn::build_autoencoder(arch, rng);
+  for (const std::size_t rows : {1U, 5U}) {
+    expect_net_matches(model, arch.input_dim, rows, rng);
+  }
+}
+
+TEST(FrozenNetTest, ScratchIsReusableAcrossBatchSizes) {
+  math::Rng rng(63);
+  nn::AutoencoderConfig arch;
+  arch.input_dim = 20;
+  arch.hidden_dims = {16};
+  nn::Sequential model = nn::build_autoencoder(arch, rng);
+  const nn::FrozenNet net = nn::FrozenNet::compile(model, arch.input_dim);
+  nn::FrozenNet::Scratch scratch;
+  // Shrinking then growing the batch must not disturb results: buffers
+  // are grow-only and fully overwritten per call.
+  for (const std::size_t rows : {6U, 1U, 9U, 2U}) {
+    math::Matrix in(rows, arch.input_dim);
+    in.fill_uniform(rng, -1.0F, 1.0F);
+    const math::Matrix oracle = model.infer(in);
+    std::vector<float> fused(rows * net.output_dim());
+    net.infer_into(in.data().data(), rows, fused.data(), scratch);
+    EXPECT_EQ(0, std::memcmp(fused.data(), oracle.data().data(),
+                             fused.size() * sizeof(float)));
+  }
+}
+
+void expect_same_verdicts(const std::vector<Verdict>& a,
+                          const std::vector<Verdict>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].adversarial, b[i].adversarial) << "sample " << i;
+    EXPECT_EQ(a[i].predicted, b[i].predicted) << "sample " << i;
+    EXPECT_EQ(a[i].reconstruction_error, b[i].reconstruction_error)
+        << "sample " << i;
+  }
+}
+
+// One tiny trained system for the whole suite (training dominates).
+struct FrozenSystemFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    dataset::DatasetConfig data_config;
+    data_config.scale = 0.008;
+    math::Rng rng(71);
+    data = new dataset::Dataset(dataset::generate_dataset(data_config, rng));
+    SoteriaConfig config = tiny_config();
+    config.seed = 71;
+    system = new SoteriaSystem(SoteriaSystem::train(data->train, config));
+    system->freeze();
+  }
+  static void TearDownTestSuite() {
+    delete system;
+    delete data;
+    system = nullptr;
+    data = nullptr;
+  }
+
+  [[nodiscard]] static std::vector<cfg::Cfg> test_cfgs(std::size_t n) {
+    std::vector<cfg::Cfg> cfgs;
+    for (std::size_t i = 0; i < std::min(n, data->test.size()); ++i) {
+      cfgs.push_back(data->test[i].cfg);
+    }
+    return cfgs;
+  }
+
+  [[nodiscard]] static AnalyzeOptions frozen_options(std::size_t threads) {
+    AnalyzeOptions options;
+    options.num_threads = threads;
+    options.use_frozen = true;
+    return options;
+  }
+
+  [[nodiscard]] static AnalyzeOptions interpreted_options(
+      std::size_t threads) {
+    AnalyzeOptions options;
+    options.num_threads = threads;
+    options.use_frozen = false;
+    return options;
+  }
+
+  static dataset::Dataset* data;
+  static SoteriaSystem* system;
+};
+
+dataset::Dataset* FrozenSystemFixture::data = nullptr;
+SoteriaSystem* FrozenSystemFixture::system = nullptr;
+
+TEST_F(FrozenSystemFixture, BatchVerdictsMatchInterpretedAtAnyThreadCount) {
+  const auto cfgs = test_cfgs(10);
+  ASSERT_FALSE(cfgs.empty());
+  const math::Rng rng(73);
+  const auto interpreted =
+      system->analyze_batch(cfgs, rng, interpreted_options(1));
+  for (const std::size_t threads : {1U, 2U, 4U}) {
+    const auto frozen =
+        system->analyze_batch(cfgs, rng, frozen_options(threads));
+    expect_same_verdicts(frozen, interpreted);
+  }
+}
+
+TEST_F(FrozenSystemFixture, SingleSampleAnalyzeMatchesInterpreted) {
+  const auto cfgs = test_cfgs(4);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    math::Rng interpreted_rng(75 + i);
+    math::Rng frozen_rng(75 + i);
+    // Same system object: route via per-call options only.
+    const auto interpreted =
+        system->analyze(cfgs[i], interpreted_rng, interpreted_options(1));
+    const auto frozen =
+        system->analyze(cfgs[i], frozen_rng, frozen_options(1));
+    EXPECT_EQ(frozen.adversarial, interpreted.adversarial);
+    EXPECT_EQ(frozen.predicted, interpreted.predicted);
+    EXPECT_EQ(frozen.reconstruction_error, interpreted.reconstruction_error);
+  }
+}
+
+TEST_F(FrozenSystemFixture, AdvancingRngAnalyzeMatchesAndAdvancesEqually) {
+  const auto cfgs = test_cfgs(3);
+  // config().use_frozen is false on this system, so analyze(cfg, rng&)
+  // takes the interpreted path; the snapshot must consume the stream
+  // identically and agree bitwise.
+  const std::shared_ptr<const FrozenModel> snapshot = system->frozen();
+  ASSERT_NE(snapshot, nullptr);
+  for (const auto& cfg : cfgs) {
+    math::Rng interpreted_rng(77);
+    math::Rng frozen_rng(77);
+    const auto interpreted = system->analyze(cfg, interpreted_rng);
+    const auto frozen = snapshot->analyze(
+        cfg, frozen_rng, system->pipeline().labeling_cache().get());
+    EXPECT_EQ(frozen.reconstruction_error, interpreted.reconstruction_error);
+    EXPECT_EQ(frozen.predicted, interpreted.predicted);
+    // Both paths drew exactly the same walk stream.
+    EXPECT_EQ(interpreted_rng.engine()(), frozen_rng.engine()());
+  }
+}
+
+TEST_F(FrozenSystemFixture, ExtractMatchesPipelineBitwise) {
+  const auto cfgs = test_cfgs(3);
+  for (const auto& cfg : cfgs) {
+    math::Rng pipeline_rng(79);
+    math::Rng frozen_rng(79);
+    const auto interpreted = system->pipeline().extract(cfg, pipeline_rng);
+    const auto fused = system->frozen()->extract(
+        cfg, frozen_rng, system->pipeline().labeling_cache().get());
+    ASSERT_EQ(fused.dbl.size(), interpreted.dbl.size());
+    ASSERT_EQ(fused.lbl.size(), interpreted.lbl.size());
+    for (std::size_t w = 0; w < fused.dbl.size(); ++w) {
+      EXPECT_EQ(fused.dbl[w], interpreted.dbl[w]) << "dbl walk " << w;
+      EXPECT_EQ(fused.lbl[w], interpreted.lbl[w]) << "lbl walk " << w;
+    }
+    EXPECT_EQ(fused.pooled_dbl, interpreted.pooled_dbl);
+    EXPECT_EQ(fused.pooled_lbl, interpreted.pooled_lbl);
+  }
+}
+
+TEST_F(FrozenSystemFixture, AnalyzeFeaturesMatchesInterpreted) {
+  const auto cfgs = test_cfgs(3);
+  for (const auto& cfg : cfgs) {
+    math::Rng rng(81);
+    const auto features = system->pipeline().extract(cfg, rng);
+    const auto interpreted = system->analyze_features(features);
+    const auto frozen = system->frozen()->analyze_features(features);
+    EXPECT_EQ(frozen.adversarial, interpreted.adversarial);
+    EXPECT_EQ(frozen.predicted, interpreted.predicted);
+    EXPECT_EQ(frozen.reconstruction_error, interpreted.reconstruction_error);
+  }
+}
+
+TEST_F(FrozenSystemFixture, StoreOnAndOffAreIdenticalThroughFrozenPath) {
+  const auto cfgs = test_cfgs(6);
+  const math::Rng rng(83);
+  const auto baseline = system->analyze_batch(cfgs, rng, frozen_options(1));
+
+  auto store = std::make_shared<store::FeatureStore>(
+      store::StoreConfig{testing::TempDir() + "frozen_identity_store", 64});
+  AnalyzeOptions with_store = frozen_options(2);
+  with_store.feature_store = store;
+  // Cold pass populates the store; warm pass serves every sample from
+  // it. Both must match the storeless frozen verdicts bitwise — and
+  // the warm pass must actually hit.
+  const auto cold = system->analyze_batch(cfgs, rng, with_store);
+  expect_same_verdicts(cold, baseline);
+  const auto stats_after_cold = store->stats();
+  const auto warm = system->analyze_batch(cfgs, rng, with_store);
+  expect_same_verdicts(warm, baseline);
+  const auto stats_after_warm = store->stats();
+  EXPECT_EQ(stats_after_warm.hits, stats_after_cold.hits + cfgs.size());
+
+  // The frozen path writes entries the interpreted path can read.
+  AnalyzeOptions interpreted_with_store = interpreted_options(1);
+  interpreted_with_store.feature_store = store;
+  const auto interpreted =
+      system->analyze_batch(cfgs, rng, interpreted_with_store);
+  expect_same_verdicts(interpreted, baseline);
+}
+
+TEST_F(FrozenSystemFixture, TrainCompilesSnapshotUnderConfigFlag) {
+  SoteriaConfig config = tiny_config();
+  config.seed = 71;
+  config.use_frozen = true;
+  const SoteriaSystem trained = SoteriaSystem::train(data->train, config);
+  ASSERT_NE(trained.frozen(), nullptr);
+  // Default-routed (config-level) frozen analysis agrees with this
+  // suite's explicitly-frozen system.
+  const auto cfgs = test_cfgs(4);
+  const math::Rng rng(85);
+  const auto defaulted = trained.analyze_batch(cfgs, rng, AnalyzeOptions{});
+  const auto explicit_frozen =
+      system->analyze_batch(cfgs, rng, frozen_options(1));
+  expect_same_verdicts(defaulted, explicit_frozen);
+}
+
+TEST_F(FrozenSystemFixture, FreezeIsRequiredForRouting) {
+  SoteriaConfig config = tiny_config();
+  config.seed = 71;
+  const SoteriaSystem unfrozen = SoteriaSystem::train(data->train, config);
+  ASSERT_EQ(unfrozen.frozen(), nullptr);
+  // use_frozen without a snapshot is a no-op, not an error.
+  const auto cfgs = test_cfgs(2);
+  const math::Rng rng(87);
+  const auto a = unfrozen.analyze_batch(cfgs, rng, frozen_options(1));
+  const auto b = unfrozen.analyze_batch(cfgs, rng, interpreted_options(1));
+  expect_same_verdicts(a, b);
+}
+
+}  // namespace
+}  // namespace soteria::core

@@ -203,5 +203,50 @@ TEST(PerfSmoke, RecordedGraphSweepHasExactAndApproxKeys) {
   }
 }
 
+TEST(PerfSmoke, RecordedInferSweepHasSpeedupFloorsAndIdentity) {
+  // When a BENCH_perf.json is reachable, its perf_infer section must
+  // carry the compiled-inference sweep shape: distinct interpreted_*
+  // and frozen_* timings per thread count (the two paths must never
+  // alias), the n-gram before/after pair, and the gates the bench
+  // enforces — bit identity, n-grams >= 3x, frozen >= 2x at one
+  // thread. The bench exits non-zero otherwise, so a recorded document
+  // must always carry passing values.
+  std::string contents;
+  for (const char* candidate :
+       {"BENCH_perf.json", "../BENCH_perf.json", "../../BENCH_perf.json"}) {
+    std::ifstream in(candidate);
+    if (in) {
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      contents = buffer.str();
+      break;
+    }
+  }
+  if (contents.empty()) {
+    GTEST_SKIP() << "no BENCH_perf.json in reach; bench not yet run here";
+  }
+
+  const auto parsed = obs::json::parse(contents);
+  const auto& document = parsed.as_object();
+  const auto it = document.find("perf_infer");
+  if (it == document.end()) {
+    GTEST_SKIP() << "BENCH_perf.json has no perf_infer section yet";
+  }
+  const auto& section = it->second.as_object();
+  for (const char* key :
+       {"ngrams_reference_ms", "ngrams_flat_ms", "interpreted_t1_ms",
+        "interpreted_t2_ms", "interpreted_t4_ms", "frozen_t1_ms",
+        "frozen_t2_ms", "frozen_t4_ms"}) {
+    ASSERT_TRUE(section.count(key)) << key;
+    EXPECT_GT(section.at(key).as_number(), 0.0) << key;
+  }
+  ASSERT_TRUE(section.count("bit_identical"));
+  EXPECT_EQ(section.at("bit_identical").as_number(), 1.0);
+  ASSERT_TRUE(section.count("ngrams_speedup"));
+  EXPECT_GE(section.at("ngrams_speedup").as_number(), 3.0);
+  ASSERT_TRUE(section.count("frozen_speedup_t1"));
+  EXPECT_GE(section.at("frozen_speedup_t1").as_number(), 2.0);
+}
+
 }  // namespace
 }  // namespace soteria
