@@ -69,16 +69,31 @@ struct RollingKey {
   }
 };
 
-/// Drives the rolling update over one walk, invoking `emit(key)` once
-/// per window. Inputs must already be validated.
+/// Drives the rolling update over one walk, invoking `emit(key, mult)`
+/// once per window position. Inputs must already be validated.
+///
+/// `sizes` may be arbitrarily long and may repeat a size — the
+/// reference counts each repeat as its own pass over the walk. Folding
+/// repeats into a per-size multiplicity keeps the state bounded by the
+/// kMaxGramLength distinct valid sizes (so the fixed arrays can never
+/// overflow) while emitting the same totals: integer accumulation is
+/// order-independent, so `emit(key, m)` equals m separate passes.
 template <typename Emit>
 void roll_walk(std::span<const cfg::Label> walk,
                std::span<const std::size_t> sizes, Emit&& emit) {
   RollingKey rolling[kMaxGramLength];
+  std::uint32_t multiplicity[kMaxGramLength];
   std::size_t active = 0;
   for (std::size_t n : sizes) {
     if (walk.size() < n) continue;
-    rolling[active++].init(n);
+    std::size_t s = 0;
+    while (s < active && rolling[s].length != n) ++s;
+    if (s == active) {
+      rolling[active].init(n);
+      multiplicity[active] = 0;
+      ++active;
+    }
+    ++multiplicity[s];
   }
   if (active == 0) return;
   for (std::size_t p = 0; p < walk.size(); ++p) {
@@ -86,7 +101,7 @@ void roll_walk(std::span<const cfg::Label> walk,
     for (std::size_t s = 0; s < active; ++s) {
       RollingKey& r = rolling[s];
       r.roll(label);
-      if (p + 1 >= r.length) emit(r.key);
+      if (p + 1 >= r.length) emit(r.key, multiplicity[s]);
     }
   }
 }
@@ -95,7 +110,9 @@ void count_grams_prevalidated(std::span<const cfg::Label> walk,
                               std::span<const std::size_t> sizes,
                               GramCounts& counts) {
   validate_walk(walk, sizes);
-  roll_walk(walk, sizes, [&counts](GramKey key) { counts[key] += 1; });
+  roll_walk(walk, sizes, [&counts](GramKey key, std::uint32_t mult) {
+    counts[key] += mult;
+  });
 }
 
 /// Probe hash decorrelated from the raw key bits (which are highly
@@ -248,7 +265,8 @@ void FlatGramCounter::count_walk(std::span<const cfg::Label> walk,
                                  std::span<const std::size_t> sizes) {
   validate_sizes(sizes);
   validate_walk(walk, sizes);
-  roll_walk(walk, sizes, [this](GramKey key) { add(key, 1); });
+  roll_walk(walk, sizes,
+            [this](GramKey key, std::uint32_t mult) { add(key, mult); });
 }
 
 void FlatGramCounter::export_into(GramCounts& out) const {
@@ -426,11 +444,12 @@ std::uint64_t count_into_vocab_impl(std::span<const cfg::Label> walk,
   validate_sizes(sizes);
   validate_walk(walk, sizes);
   std::uint64_t windows = 0;
-  roll_walk(walk, sizes, [&index, counts, &windows](GramKey key) {
-    ++windows;
-    const std::size_t idx = index.lookup(key);
-    if (idx != Index::npos) counts[idx] += 1;
-  });
+  roll_walk(walk, sizes,
+            [&index, counts, &windows](GramKey key, std::uint32_t mult) {
+              windows += mult;
+              const std::size_t idx = index.lookup(key);
+              if (idx != Index::npos) counts[idx] += mult;
+            });
   return windows;
 }
 

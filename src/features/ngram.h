@@ -172,10 +172,10 @@ class PerfectGramHash {
   std::uint64_t global_seed_ = 0;
 };
 
-/// Direct-mapped vocabulary lookup for the frozen inference path: an
-/// 8x-oversized power-of-two open-addressing table over the selected
-/// grams. Trades ~8x the memory of the minimal perfect hash for a
-/// lookup that is one multiply-xorshift hash, one mask, and (at ~12%
+/// Direct-mapped vocabulary lookup for the frozen inference path: a
+/// 4x-oversized power-of-two open-addressing table over the selected
+/// grams. Trades ~4x the memory of the minimal perfect hash for a
+/// lookup that is one multiply-xorshift hash, one mask, and (at ~25%
 /// load) almost always a single probe — roughly a third of the CHD
 /// lookup's work, which dominates the fused walk+count loop. Built at
 /// freeze time from Vocabulary::grams(); the Vocabulary itself keeps

@@ -82,6 +82,15 @@ void FrozenModel::extract_into(const cfg::Cfg& cfg, math::Rng& rng,
   const cfg::NodeLabelings labelings =
       cache != nullptr ? cache->labels(cfg, config_.labeling)
                        : cfg::label_both(cfg, config_.labeling);
+  // A short label table must fail like the interpreted path's
+  // apply_labels (std::out_of_range), not index past the end below.
+  // Checked against node_count up front: any node can be walked, so
+  // this rejects exactly the labelings the interpreted path could
+  // throw on, just deterministically instead of per visited node.
+  if (labelings.dbl.size() < cfg.node_count() ||
+      labelings.lbl.size() < cfg.node_count()) {
+    throw std::out_of_range("apply_labels: node id beyond label table");
+  }
 
   // One adjacency view serves both labelings (the interpreted path
   // rebuilds it per labeled_walks call); the walk step count matches

@@ -9,10 +9,16 @@ namespace soteria::store {
 
 namespace {
 
-/// Bumped whenever the fingerprint derivation (or the serialized
-/// pipeline layout it hashes) changes meaning, so stores written by an
-/// older scheme miss instead of colliding.
-constexpr std::uint64_t kFingerprintVersion = 1;
+/// Bumped whenever anything that determines feature bytes changes
+/// meaning — the fingerprint derivation, the serialized pipeline
+/// layout it hashes, or the numeric routine that turns counts into
+/// vectors — so stores written by an older scheme miss instead of
+/// serving bundles the current build would not reproduce bit-for-bit.
+///   v1: original double-precision TF-IDF accumulation.
+///   v2: TF-IDF arithmetic moved to float throughout
+///       (Vocabulary::tfidf_into); persisted v1 bundles differ in the
+///       low mantissa bits, so they must not hit.
+constexpr std::uint64_t kFingerprintVersion = 2;
 
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;

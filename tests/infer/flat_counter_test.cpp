@@ -65,6 +65,68 @@ TEST(RollingCountTest, MaxLabelsAndRepeats) {
   EXPECT_EQ(rep, reference_counts(repeated, sizes));
 }
 
+TEST(RollingCountTest, DuplicateSizesMatchReferenceWithoutOverflow) {
+  math::Rng rng(505);
+  // More entries than there are distinct valid sizes: each repeat is
+  // individually valid and the reference counts it as its own pass
+  // over the walk, so the rolling path must reproduce the
+  // double-counting while keeping its per-size state bounded by
+  // kMaxGramLength distinct sizes (regression: this used to overflow
+  // a fixed array sized for kMaxGramLength entries of `sizes`).
+  const std::vector<std::size_t> sizes = {2, 2, 3, 2, 4, 1, 3, 2, 1};
+  ASSERT_GT(sizes.size(), kMaxGramLength);
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    const auto walk = random_walk(rng.index(40), 15, rng);
+    const GramCounts expected = reference_counts(walk, sizes);
+
+    GramCounts rolling;
+    count_grams(walk, sizes, rolling);
+    EXPECT_EQ(rolling, expected) << "trial " << trial;
+
+    FlatGramCounter counter;
+    counter.count_walk(walk, sizes);
+    EXPECT_EQ(counter.to_counts(), expected) << "trial " << trial;
+    EXPECT_EQ(counter.total(), total_occurrences(expected));
+  }
+}
+
+TEST(CountIntoVocabTest, DuplicateSizesDoubleCountLikeReference) {
+  math::Rng rng(606);
+  const std::vector<std::size_t> sizes = {3, 2, 3, 3, 2, 4, 2};
+  ASSERT_GT(sizes.size(), kMaxGramLength);
+  GramCounts vocab_pool;
+  const std::vector<std::size_t> canonical = {2, 3, 4};
+  for (std::size_t w = 0; w < 4; ++w) {
+    count_grams_reference(random_walk(30, 10, rng), canonical, vocab_pool);
+  }
+  std::vector<GramKey> vocab;
+  for (const auto& [key, count] : vocab_pool) vocab.push_back(key);
+  const auto hash = PerfectGramHash::build(vocab);
+  const auto table = DirectGramTable::build(vocab);
+
+  for (std::size_t trial = 0; trial < 10; ++trial) {
+    const auto walk = random_walk(10 + rng.index(40), 12, rng);
+    const GramCounts full = reference_counts(walk, sizes);
+
+    std::vector<std::uint32_t> dense_hash(vocab.size(), 0);
+    std::vector<std::uint32_t> dense_table(vocab.size(), 0);
+    const std::uint64_t windows_hash =
+        count_into_vocab(walk, sizes, hash, dense_hash);
+    const std::uint64_t windows_table =
+        count_into_vocab(walk, sizes, table, dense_table);
+
+    EXPECT_EQ(windows_hash, total_occurrences(full)) << "trial " << trial;
+    EXPECT_EQ(windows_table, windows_hash);
+    EXPECT_EQ(dense_table, dense_hash);
+    for (std::size_t i = 0; i < vocab.size(); ++i) {
+      const auto it = full.find(vocab[i]);
+      const std::uint32_t expected = it == full.end() ? 0 : it->second;
+      EXPECT_EQ(dense_hash[i], expected)
+          << "trial " << trial << " gram " << gram_to_string(vocab[i]);
+    }
+  }
+}
+
 TEST(RollingCountTest, ShortWalkWithBadLabelStillProducesNothing) {
   // The reference ignores labels when no size fits the walk; the
   // rolling path must preserve that (validation only when windows
