@@ -38,6 +38,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 
 #include "attack/binary_gea.h"
@@ -45,7 +46,10 @@
 #include "dataset/adversarial.h"
 #include "dataset/generator.h"
 #include "eval/metrics.h"
+#include "frontend/frontend.h"
 #include "isa/vm.h"
+#include "loader/elf.h"
+#include "loader/elf_writer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "soteria/error.h"
@@ -72,19 +76,52 @@ int usage() {
   std::fprintf(stderr,
                "usage: soteria_cli train   <model-path> [scale] [seed]\n"
                "       soteria_cli analyze <model-path> [seed]"
-               " [--store <dir>]\n"
+               " [--store <dir>] [--format auto|toy|elf] [--arch <name>]\n"
                "       soteria_cli attack  <model-path> [seed]\n"
-               "       soteria_cli corpus  <dir> [scale] [seed]\n"
+               "       soteria_cli corpus  <dir> [scale] [seed]"
+               " [--format toy|elf]\n"
 #ifdef SOTERIA_HAVE_SERVE
                "       soteria_cli serve   <model-path> [--queue-depth N]"
                " [--threads T] [--shards K] [--batch B] [--seed S]"
-               " [--swap-model <path>] [--store <dir>]\n"
+               " [--swap-model <path>] [--store <dir>]"
+               " [--format auto|toy|elf] [--arch <name>]\n"
 #endif
                "       soteria_cli store   <stats|compact|verify|clear>"
                " <dir> [capacity]\n"
                "options: --metrics        print per-stage metrics report\n"
-               "         --metrics-json   print metrics as JSON\n");
+               "         --metrics-json   print metrics as JSON\n"
+               "         --format         binary container: auto-detect,\n"
+               "                          raw toy bytes, or ELF (corpus\n"
+               "                          --format elf wraps samples in\n"
+               "                          ELF64 containers)\n"
+               "         --arch           force a decoder front end by\n"
+               "                          name (toy, x86_64); default\n"
+               "                          auto-detects\n");
   return 2;
+}
+
+/// Decodes one binary into a CFG under the --format/--arch policy:
+/// "auto" sniffs the container (ELF magic vs raw toy bytes), "toy"
+/// forces the raw historical path, "elf" requires an ELF container.
+/// `arch` names a front end ("toy", "x86_64"); empty auto-detects.
+cfg::Cfg decode_binary(std::span<const std::uint8_t> bytes,
+                       const std::string& format, const std::string& arch) {
+  loader::Image image;
+  if (format == "toy") {
+    image.bytes = bytes;
+    image.text = bytes;
+  } else if (format == "elf") {
+    image = loader::load_elf(bytes);
+  } else if (format == "auto" || format.empty()) {
+    image = loader::load_image(bytes);
+  } else {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "unknown --format " + format +
+                          " (expected auto, toy, or elf)");
+  }
+  const auto& fe = frontend::resolve_frontend(
+      frontend::FrontendRegistry::builtin(), image, arch);
+  return fe.extract(image);
 }
 
 dataset::Dataset make_corpus(double scale, std::uint64_t seed) {
@@ -109,7 +146,8 @@ int cmd_train(const char* path, double scale, std::uint64_t seed) {
 }
 
 int cmd_analyze(const char* path, std::uint64_t seed,
-                const std::string& store_dir) {
+                const std::string& store_dir, const std::string& format,
+                const std::string& arch) {
   const auto system = core::SoteriaSystem::load_file(path);
   const auto data = make_corpus(0.01, seed + 1);
 
@@ -120,7 +158,27 @@ int cmd_analyze(const char* path, std::uint64_t seed,
   }
   std::vector<cfg::Cfg> cfgs;
   cfgs.reserve(data.test.size());
-  for (const auto& sample : data.test) cfgs.push_back(sample.cfg);
+  if (format.empty()) {
+    // Historical path: the generator's CFGs, no binary decode.
+    for (const auto& sample : data.test) cfgs.push_back(sample.cfg);
+  } else {
+    // Exercise the loader/frontend seam end to end: every sample's
+    // runnable binary goes through container load + decoder resolution
+    // (--format elf wraps the toy binaries in ELF64 containers first,
+    // so the ELF parser sits on the path too).
+    for (const auto& sample : data.test) {
+      if (sample.binary.empty()) {
+        cfgs.push_back(sample.cfg);
+        continue;
+      }
+      if (format == "elf") {
+        const auto wrapped = loader::write_elf(sample.binary);
+        cfgs.push_back(decode_binary(wrapped, format, arch));
+      } else {
+        cfgs.push_back(decode_binary(sample.binary, format, arch));
+      }
+    }
+  }
   const auto verdicts =
       system.analyze_batch(cfgs, math::Rng(seed ^ 0xa11ce), options);
 
@@ -209,8 +267,15 @@ int cmd_attack(const char* path, std::uint64_t seed) {
   return 0;
 }
 
-int cmd_corpus(const char* dir, double scale, std::uint64_t seed) {
+int cmd_corpus(const char* dir, double scale, std::uint64_t seed,
+               const std::string& format) {
   namespace fs = std::filesystem;
+  const bool elf = format == "elf";
+  if (!elf && !format.empty() && format != "toy") {
+    std::fprintf(stderr, "corpus: --format must be toy or elf (got %s)\n",
+                 format.c_str());
+    return 2;
+  }
   fs::create_directories(dir);
   const auto data = make_corpus(scale, seed);
   std::size_t written = 0;
@@ -220,18 +285,21 @@ int cmd_corpus(const char* dir, double scale, std::uint64_t seed) {
     const auto path =
         fs::path(dir) / ("sample_" + std::to_string(i) + "_" +
                          std::string(dataset::family_name(sample.family)) +
-                         ".bin");
+                         (elf ? ".elf" : ".bin"));
+    const std::vector<std::uint8_t> bytes =
+        elf ? loader::write_elf(sample.binary) : sample.binary;
     std::ofstream out(path, std::ios::binary);
     if (!out) {
       throw core::Error(core::ErrorCode::kIoError,
                         "corpus: cannot open " + path.string());
     }
-    out.write(reinterpret_cast<const char*>(sample.binary.data()),
-              static_cast<std::streamsize>(sample.binary.size()));
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
     std::printf("%s\n", path.string().c_str());
     ++written;
   }
-  std::fprintf(stderr, "wrote %zu sample binaries to %s\n", written, dir);
+  std::fprintf(stderr, "wrote %zu sample binaries to %s%s\n", written, dir,
+               elf ? " (ELF64 containers)" : "");
   return 0;
 }
 
@@ -367,6 +435,8 @@ int cmd_serve(const char* model_path, int argc, char** argv) {
   serve::ShardedServiceConfig config;
   config.num_shards = 1;
   std::string swap_path;
+  std::string format = "auto";
+  std::string arch;
   for (int i = 0; i < argc; ++i) {
     const auto flag_value = [&](const char* flag) -> const char* {
       if (std::strcmp(argv[i], flag) != 0) return nullptr;
@@ -391,6 +461,10 @@ int cmd_serve(const char* model_path, int argc, char** argv) {
     } else if (const char* v = flag_value("--store")) {
       config.shard.feature_store = std::make_shared<store::FeatureStore>(
           store::StoreConfig{std::string(v)});
+    } else if (const char* v = flag_value("--format")) {
+      format = v;
+    } else if (const char* v = flag_value("--arch")) {
+      arch = v;
     } else {
       std::fprintf(stderr, "serve: unknown flag %s\n", argv[i]);
       return 2;
@@ -448,7 +522,19 @@ int cmd_serve(const char* model_path, int argc, char** argv) {
 
     cfg::Cfg cfg;
     try {
-      cfg = cfg::extract(read_binary_file(line));
+      // Container + decoder resolution per file: a sharded directory
+      // of raw toy binaries and ELF-wrapped ones serves uniformly
+      // under --format auto.
+      const auto bytes = read_binary_file(line);
+      cfg = decode_binary(bytes, format, arch);
+    } catch (const core::Error& e) {
+      std::printf("{\"path\":\"%s\",\"error\":\"%s\",\"message\":"
+                  "\"%s\"}\n",
+                  json_escape(line).c_str(),
+                  std::string(core::error_code_name(e.code())).c_str(),
+                  json_escape(e.what()).c_str());
+      std::fflush(stdout);
+      continue;
     } catch (const std::exception& e) {
       std::printf("{\"path\":\"%s\",\"error\":\"IoError\",\"message\":"
                   "\"%s\"}\n",
@@ -507,13 +593,27 @@ int dispatch(int argc, char** argv) {
   try {
     if (std::strcmp(command, "train") == 0 ||
         std::strcmp(command, "corpus") == 0) {
-      const double scale =
-          argc > 3 ? std::strtod(argv[3], nullptr) : 0.02;
-      const std::uint64_t seed =
-          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
-      return std::strcmp(command, "train") == 0
-                 ? cmd_train(path, scale, seed)
-                 : cmd_corpus(path, scale, seed);
+      const bool is_corpus = std::strcmp(command, "corpus") == 0;
+      double scale = 0.02;
+      std::uint64_t seed = 42;
+      std::string format;
+      int positional = 0;
+      for (int i = 3; i < argc; ++i) {
+        if (is_corpus && std::strcmp(argv[i], "--format") == 0) {
+          if (i + 1 >= argc) return usage();
+          format = argv[++i];
+        } else if (positional == 0) {
+          scale = std::strtod(argv[i], nullptr);
+          ++positional;
+        } else if (positional == 1) {
+          seed = std::strtoull(argv[i], nullptr, 10);
+          ++positional;
+        } else {
+          return usage();
+        }
+      }
+      return is_corpus ? cmd_corpus(path, scale, seed, format)
+                       : cmd_train(path, scale, seed);
     }
 #ifdef SOTERIA_HAVE_SERVE
     if (std::strcmp(command, "serve") == 0) {
@@ -526,19 +626,28 @@ int dispatch(int argc, char** argv) {
           argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
       return cmd_store(argv[2], argv[3], capacity);
     }
-    // Positional [seed] optionally followed by --store <dir>.
+    // Positional [seed] optionally followed by --store / --format /
+    // --arch flags.
     std::uint64_t seed = 42;
     std::string store_dir;
+    std::string format;
+    std::string arch;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--store") == 0) {
         if (i + 1 >= argc) return usage();
         store_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--format") == 0) {
+        if (i + 1 >= argc) return usage();
+        format = argv[++i];
+      } else if (std::strcmp(argv[i], "--arch") == 0) {
+        if (i + 1 >= argc) return usage();
+        arch = argv[++i];
       } else {
         seed = std::strtoull(argv[i], nullptr, 10);
       }
     }
     if (std::strcmp(command, "analyze") == 0) {
-      return cmd_analyze(path, seed, store_dir);
+      return cmd_analyze(path, seed, store_dir, format, arch);
     }
     if (std::strcmp(command, "attack") == 0) return cmd_attack(path, seed);
   } catch (const std::exception& e) {

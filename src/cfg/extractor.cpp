@@ -1,126 +1,17 @@
 #include "cfg/extractor.h"
 
-#include <algorithm>
-#include <stdexcept>
-#include <vector>
-
-#include "graph/traversal.h"
-#include "isa/isa.h"
-#include "obs/trace.h"
+#include "frontend/toy_isa_frontend.h"
+#include "loader/image.h"
 
 namespace soteria::cfg {
 
-namespace {
-
-using isa::Instruction;
-using isa::Opcode;
-
-/// Absolute instruction index a control-flow instruction at `index`
-/// targets, or -1 if the target lands outside the image.
-std::int64_t branch_target(const Instruction& insn, std::size_t index,
-                           std::size_t instruction_count) {
-  const auto target =
-      static_cast<std::int64_t>(index) + 1 + static_cast<std::int64_t>(insn.imm);
-  if (target < 0 || target >= static_cast<std::int64_t>(instruction_count)) {
-    return -1;
-  }
-  return target;
-}
-
-}  // namespace
-
 Cfg extract(std::span<const std::uint8_t> image,
             const ExtractOptions& options) {
-  if (image.empty()) {
-    throw std::invalid_argument("extract: empty image");
-  }
-  const obs::Span span("cfg.extract");
-  const auto instructions = isa::disassemble(image);
-  const std::size_t n = instructions.size();
-  obs::registry().counter_add("soteria.cfg.images");
-  obs::registry().counter_add("soteria.cfg.instructions", n);
-
-  // Pass 1: leaders. Instruction 0, every in-range branch/call target,
-  // and every instruction following a block terminator.
-  std::vector<bool> leader(n, false);
-  leader[0] = true;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Instruction& insn = instructions[i];
-    if (isa::is_control_flow(insn.opcode)) {
-      const auto target = branch_target(insn, i, n);
-      if (target >= 0) leader[static_cast<std::size_t>(target)] = true;
-    }
-    if (isa::ends_basic_block(insn.opcode) && i + 1 < n) {
-      leader[i + 1] = true;
-    }
-  }
-
-  // Pass 2: blocks. block_of[i] = block index containing instruction i.
-  std::vector<std::size_t> block_of(n, 0);
-  std::vector<BasicBlock> blocks;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (leader[i]) {
-      blocks.push_back(BasicBlock{i, 0});
-    }
-    block_of[i] = blocks.size() - 1;
-    ++blocks.back().instruction_count;
-  }
-
-  // Pass 3: edges.
-  graph::DiGraph g(blocks.size());
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    const std::size_t last =
-        blocks[b].first_instruction + blocks[b].instruction_count - 1;
-    const Instruction& insn = instructions[last];
-    const bool has_fallthrough = last + 1 < n;
-    switch (insn.opcode) {
-      case Opcode::kJmp: {
-        const auto target = branch_target(insn, last, n);
-        if (target >= 0)
-          g.add_edge(b, block_of[static_cast<std::size_t>(target)]);
-        break;
-      }
-      case Opcode::kJz:
-      case Opcode::kJnz:
-      case Opcode::kJlt:
-      case Opcode::kJge:
-      case Opcode::kCall: {
-        const auto target = branch_target(insn, last, n);
-        if (target >= 0)
-          g.add_edge(b, block_of[static_cast<std::size_t>(target)]);
-        if (has_fallthrough) g.add_edge(b, block_of[last + 1]);
-        break;
-      }
-      case Opcode::kRet:
-      case Opcode::kHalt:
-        break;  // no successors
-      default:
-        // Block ended because the next instruction is a leader.
-        if (has_fallthrough) g.add_edge(b, block_of[last + 1]);
-        break;
-    }
-  }
-
-  const graph::NodeId entry = block_of[0];
-  if (!options.prune_unreachable) {
-    return Cfg(std::move(g), entry, std::move(blocks));
-  }
-
-  // Pass 4: prune to the entry-reachable subgraph with compact ids.
-  const auto reachable = graph::reachable_from(g, entry);
-  std::vector<graph::NodeId> remap(blocks.size(), graph::NodeId{0});
-  graph::DiGraph pruned;
-  std::vector<BasicBlock> pruned_blocks;
-  for (std::size_t b = 0; b < blocks.size(); ++b) {
-    if (reachable[b]) {
-      remap[b] = pruned.add_node();
-      pruned_blocks.push_back(blocks[b]);
-    }
-  }
-  for (const auto& [u, v] : g.edges()) {
-    if (reachable[u] && reachable[v]) pruned.add_edge(remap[u], remap[v]);
-  }
-  return Cfg(std::move(pruned), remap[entry], std::move(pruned_blocks));
+  loader::Image raw;
+  raw.bytes = image;
+  raw.text = image;
+  static const frontend::ToyIsaFrontend toy;
+  return toy.extract(raw, options);
 }
 
 }  // namespace soteria::cfg

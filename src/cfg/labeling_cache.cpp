@@ -22,7 +22,8 @@ void fnv_mix(std::uint64_t& h, std::uint64_t value) noexcept {
 }  // namespace
 
 LabelingCache::LabelingCache(std::size_t capacity)
-    : LabelingCache(capacity, &LabelingCache::content_hash) {}
+    : LabelingCache(capacity, static_cast<std::uint64_t (*)(const Cfg&)>(
+                                  &LabelingCache::content_hash)) {}
 
 LabelingCache::LabelingCache(std::size_t capacity, Hasher hasher)
     : capacity_(capacity), hasher_(std::move(hasher)) {
@@ -41,6 +42,19 @@ std::uint64_t LabelingCache::content_hash(const Cfg& cfg) {
   for (const auto& [u, v] : cfg.graph().edges()) {
     fnv_mix(h, static_cast<std::uint64_t>(u));
     fnv_mix(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+std::uint64_t LabelingCache::content_hash(const Cfg& cfg,
+                                          std::string_view frontend_tag) {
+  std::uint64_t h = content_hash(cfg);
+  // Length-prefixed so distinct tags can never produce the same byte
+  // stream, then the tag bytes themselves.
+  fnv_mix(h, static_cast<std::uint64_t>(frontend_tag.size()));
+  for (const char c : frontend_tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
   }
   return h;
 }

@@ -29,6 +29,7 @@
 #include <functional>
 #include <list>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -82,8 +83,21 @@ class LabelingCache {
   void clear();
 
   /// Default content hash: FNV-1a over entry, node count, and the edge
-  /// list in DiGraph::edges() order.
+  /// list in DiGraph::edges() order. Deliberately *shape-addressed*:
+  /// two binaries whose decoders produce identical CFGs hash equal,
+  /// which is what shard routing (serve/sharded_service.h) wants —
+  /// same shape, same shard, same warm labeling cache. Decoder
+  /// identity is kept out of feature-store keys separately, via the
+  /// frontend name hashed into the pipeline fingerprint.
   [[nodiscard]] static std::uint64_t content_hash(const Cfg& cfg);
+
+  /// Content hash further keyed by the producing front end's name
+  /// ("toy", "x86_64"). Use wherever CFGs from different decoders must
+  /// never alias even when their shapes coincide — distinct tags are
+  /// guaranteed to mix to distinct streams (pinned by the frontend
+  /// test suite).
+  [[nodiscard]] static std::uint64_t content_hash(
+      const Cfg& cfg, std::string_view frontend_tag);
 
  private:
   /// The effective centrality mode of a labeling, normalized: exact

@@ -27,6 +27,9 @@ void validate(const PipelineConfig& config) {
     }
   }
   cfg::validate(config.labeling);
+  if (config.frontend.empty()) {
+    throw std::invalid_argument("PipelineConfig: frontend name is empty");
+  }
 }
 
 std::vector<float> SampleFeatures::combined(std::size_t walk) const {
@@ -240,6 +243,10 @@ void FeaturePipeline::save(std::ostream& out) const {
   io::write_scalar(out, config_.labeling.approx.epsilon);
   io::write_scalar(out, config_.labeling.approx.delta);
   io::write_scalar<std::uint64_t>(out, config_.labeling.approx.seed);
+  // The frontend name is model state for the same reason: CFGs from
+  // different decoders are different feature universes, and hashing the
+  // name here keys the feature store by decoder.
+  io::write_string(out, config_.frontend);
   dbl_vocab_.save(out);
   lbl_vocab_.save(out);
 }
@@ -260,6 +267,7 @@ FeaturePipeline FeaturePipeline::load(std::istream& in) {
   pipeline.config_.labeling.approx.epsilon = io::read_scalar<double>(in);
   pipeline.config_.labeling.approx.delta = io::read_scalar<double>(in);
   pipeline.config_.labeling.approx.seed = io::read_scalar<std::uint64_t>(in);
+  pipeline.config_.frontend = io::read_string(in);
   validate(pipeline.config_);
   pipeline.dbl_vocab_ = Vocabulary::load(in);
   pipeline.lbl_vocab_ = Vocabulary::load(in);

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cfg/cfg.h"
@@ -46,6 +47,13 @@ struct PipelineConfig {
   /// save() and hashed into the pipeline fingerprint, so pipelines
   /// that label differently never share feature-store entries.
   cfg::LabelingOptions labeling;
+  /// Name of the binary front end (frontend::Frontend::name()) whose
+  /// CFGs this pipeline was fitted on ("toy", "x86_64", ...). Persisted
+  /// by save() and hashed into the pipeline fingerprint, so
+  /// feature-store and labeling-cache entries produced under one
+  /// decoder can never alias another's even when two decoders happen to
+  /// emit isomorphic CFGs.
+  std::string frontend = "toy";
 };
 
 /// Throws std::invalid_argument for invalid walk config, zero top_k, or

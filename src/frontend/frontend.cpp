@@ -1,0 +1,94 @@
+#include "frontend/frontend.h"
+
+#include <string>
+#include <utility>
+
+#include "frontend/toy_isa_frontend.h"
+#include "frontend/x86_64_frontend.h"
+#include "soteria/error.h"
+
+namespace soteria::frontend {
+
+void FrontendRegistry::add(std::shared_ptr<const Frontend> frontend) {
+  if (frontend == nullptr) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "FrontendRegistry::add: null frontend");
+  }
+  if (find(frontend->name()) != nullptr) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "FrontendRegistry::add: duplicate frontend name " +
+                          std::string(frontend->name()));
+  }
+  frontends_.push_back(std::move(frontend));
+}
+
+const Frontend* FrontendRegistry::find(std::string_view name) const noexcept {
+  for (const auto& frontend : frontends_) {
+    if (frontend->name() == name) return frontend.get();
+  }
+  return nullptr;
+}
+
+const Frontend& FrontendRegistry::by_name(std::string_view name) const {
+  if (const Frontend* frontend = find(name)) return *frontend;
+  std::string known;
+  for (const auto& frontend : frontends_) {
+    if (!known.empty()) known += ", ";
+    known += frontend->name();
+  }
+  throw core::Error(core::ErrorCode::kInvalidArgument,
+                    "FrontendRegistry: unknown frontend \"" +
+                        std::string(name) + "\" (registered: " + known + ")");
+}
+
+const Frontend* FrontendRegistry::detect(
+    const loader::Image& image) const noexcept {
+  for (const auto& frontend : frontends_) {
+    if (frontend->can_decode(image)) return frontend.get();
+  }
+  return nullptr;
+}
+
+const Frontend& FrontendRegistry::detect_or_throw(
+    const loader::Image& image) const {
+  if (const Frontend* frontend = detect(image)) return *frontend;
+  throw core::Error(core::ErrorCode::kInvalidArgument,
+                    "FrontendRegistry: no registered frontend can decode "
+                    "this image (machine " +
+                        std::to_string(image.machine) + ")");
+}
+
+std::vector<std::string_view> FrontendRegistry::names() const {
+  std::vector<std::string_view> names;
+  names.reserve(frontends_.size());
+  for (const auto& frontend : frontends_) names.push_back(frontend->name());
+  return names;
+}
+
+const FrontendRegistry& FrontendRegistry::builtin() {
+  static const FrontendRegistry* const registry = [] {
+    auto* r = new FrontendRegistry();
+    r->add(std::make_shared<const ToyIsaFrontend>());
+    r->add(std::make_shared<const X8664Frontend>());
+    return r;
+  }();
+  return *registry;
+}
+
+const Frontend& resolve_frontend(const FrontendRegistry& registry,
+                                 const loader::Image& image,
+                                 std::string_view name) {
+  if (name.empty() || name == "auto") {
+    return registry.detect_or_throw(image);
+  }
+  const Frontend& frontend = registry.by_name(name);
+  if (!frontend.can_decode(image)) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "resolve_frontend: frontend \"" + std::string(name) +
+                          "\" cannot decode this image (machine " +
+                          std::to_string(image.machine) + ")");
+  }
+  return frontend;
+}
+
+}  // namespace soteria::frontend

@@ -1,0 +1,103 @@
+// The Frontend seam: one interface per instruction set, turning a
+// loaded binary image into a `cfg::Cfg`.
+//
+// Borrowed from Boomerang's loader/ + frontend/ + db/ architecture:
+// loader/ (loader/elf.h) understands container formats, a `Frontend`
+// understands one ISA's decode + sweep, and everything downstream of
+// `cfg::Cfg` — labeling, walks, grams, detector, classifier, store,
+// serve — is already CFG-shape-only, so a new ISA plugs in here and
+// the whole production stack opens up to it.
+//
+// `FrontendRegistry` holds the available decoders and auto-detects the
+// right one from an image's format metadata (ELF e_machine, raw =>
+// toy). The built-in registry ships `ToyIsaFrontend` ("toy") and
+// `X8664Frontend` ("x86_64").
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "frontend/options.h"
+#include "loader/image.h"
+
+namespace soteria::frontend {
+
+/// One per-ISA decoder. Implementations are stateless and safe to
+/// share across threads.
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+
+  /// Stable identifier ("toy", "x86_64"). Part of the pipeline
+  /// fingerprint via `features::PipelineConfig::frontend`, so it must
+  /// never be renamed once models are persisted with it.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True if this frontend understands `image` (format + machine
+  /// sniff; no decoding work).
+  [[nodiscard]] virtual bool can_decode(
+      const loader::Image& image) const noexcept = 0;
+
+  /// Extracts the CFG of `image`'s code region. Throws
+  /// core::Error{kInvalidArgument} for images this frontend cannot
+  /// decode or that violate `options` guards; never UB on arbitrary
+  /// bytes.
+  [[nodiscard]] virtual cfg::Cfg extract(
+      const loader::Image& image,
+      const FrontendOptions& options = {}) const = 0;
+};
+
+/// An ordered collection of decoders with by-name lookup and
+/// magic-byte auto-detection.
+class FrontendRegistry {
+ public:
+  /// Registers a decoder (detection considers them in registration
+  /// order). Throws core::Error{kInvalidArgument} for null or a
+  /// duplicate name.
+  void add(std::shared_ptr<const Frontend> frontend);
+
+  /// The frontend named `name`, or nullptr.
+  [[nodiscard]] const Frontend* find(std::string_view name) const noexcept;
+
+  /// The frontend named `name`; throws core::Error{kInvalidArgument}
+  /// listing the registered names when it does not exist.
+  [[nodiscard]] const Frontend& by_name(std::string_view name) const;
+
+  /// The first registered frontend whose can_decode accepts `image`,
+  /// or nullptr.
+  [[nodiscard]] const Frontend* detect(
+      const loader::Image& image) const noexcept;
+
+  /// As above; throws core::Error{kInvalidArgument} when no decoder
+  /// claims the image.
+  [[nodiscard]] const Frontend& detect_or_throw(
+      const loader::Image& image) const;
+
+  /// Registered names, in registration order.
+  [[nodiscard]] std::vector<std::string_view> names() const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return frontends_.size();
+  }
+
+  /// The process-wide registry with the built-in decoders (toy ISA,
+  /// x86-64). Immutable after construction; safe to share.
+  [[nodiscard]] static const FrontendRegistry& builtin();
+
+ private:
+  std::vector<std::shared_ptr<const Frontend>> frontends_;
+};
+
+/// Resolves the frontend for `image`: by `name` when non-empty (the
+/// special name "auto" also auto-detects), else by detection. Throws
+/// core::Error{kInvalidArgument} for an unknown name, a named frontend
+/// that cannot decode the image, or a failed detection.
+[[nodiscard]] const Frontend& resolve_frontend(const FrontendRegistry& registry,
+                                               const loader::Image& image,
+                                               std::string_view name = {});
+
+}  // namespace soteria::frontend

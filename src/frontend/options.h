@@ -1,0 +1,27 @@
+// Shared extraction options for every binary front end.
+//
+// This is the type `cfg::ExtractOptions` collapsed into once extraction
+// grew multiple decoders: the toy-ISA sweep, the x86-64 sweep, and any
+// future frontend all honor the same knobs, and `cfg::extract` keeps
+// accepting it unchanged via the `cfg::ExtractOptions` alias.
+#pragma once
+
+#include <cstddef>
+
+namespace soteria::frontend {
+
+/// Extraction options, honored by every `Frontend`.
+struct FrontendOptions {
+  /// Keep only blocks reachable from the entry block. Disabling this
+  /// exposes unreachable code in the CFG; tests use it to demonstrate
+  /// the append-immunity property.
+  bool prune_unreachable = true;
+
+  /// Upper bound on the size of the *code region* a frontend will
+  /// sweep (bytes); 0 = unlimited. A guard for serving paths that
+  /// accept untrusted files: images over the bound are rejected with
+  /// core::Error{kInvalidArgument} before any decoding work.
+  std::size_t max_image_bytes = 0;
+};
+
+}  // namespace soteria::frontend

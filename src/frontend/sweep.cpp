@@ -1,0 +1,106 @@
+#include "frontend/sweep.h"
+
+#include <utility>
+#include <vector>
+
+#include "graph/traversal.h"
+#include "soteria/error.h"
+
+namespace soteria::frontend {
+
+cfg::Cfg build_cfg_from_sweep(std::span<const SweptInstruction> instructions,
+                              std::size_t entry_index,
+                              const FrontendOptions& options) {
+  const std::size_t n = instructions.size();
+  if (n == 0) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "build_cfg_from_sweep: empty instruction stream");
+  }
+  if (entry_index >= n) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "build_cfg_from_sweep: entry index out of range");
+  }
+
+  const auto in_range = [n](std::int64_t target) {
+    return target >= 0 && target < static_cast<std::int64_t>(n);
+  };
+
+  // Pass 1: leaders. Instruction 0, the entry, every in-range target,
+  // and every instruction following a block terminator.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  leader[entry_index] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SweptInstruction& insn = instructions[i];
+    if (in_range(insn.target)) {
+      leader[static_cast<std::size_t>(insn.target)] = true;
+    }
+    if (insn.kind != FlowKind::kFallthrough && i + 1 < n) {
+      leader[i + 1] = true;
+    }
+  }
+
+  // Pass 2: blocks. block_of[i] = block index containing instruction i.
+  std::vector<std::size_t> block_of(n, 0);
+  std::vector<cfg::BasicBlock> blocks;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      blocks.push_back(cfg::BasicBlock{i, 0});
+    }
+    block_of[i] = blocks.size() - 1;
+    ++blocks.back().instruction_count;
+  }
+
+  // Pass 3: edges, in the fixed order documented in the header.
+  graph::DiGraph g(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::size_t last =
+        blocks[b].first_instruction + blocks[b].instruction_count - 1;
+    const SweptInstruction& insn = instructions[last];
+    const bool has_fallthrough = last + 1 < n;
+    switch (insn.kind) {
+      case FlowKind::kJump:
+        if (in_range(insn.target)) {
+          g.add_edge(b, block_of[static_cast<std::size_t>(insn.target)]);
+        }
+        break;
+      case FlowKind::kCondBranch:
+      case FlowKind::kCall:
+        if (in_range(insn.target)) {
+          g.add_edge(b, block_of[static_cast<std::size_t>(insn.target)]);
+        }
+        if (has_fallthrough) g.add_edge(b, block_of[last + 1]);
+        break;
+      case FlowKind::kReturn:
+      case FlowKind::kHalt:
+        break;  // no successors
+      case FlowKind::kFallthrough:
+        // Block ended because the next instruction is a leader.
+        if (has_fallthrough) g.add_edge(b, block_of[last + 1]);
+        break;
+    }
+  }
+
+  const graph::NodeId entry = block_of[entry_index];
+  if (!options.prune_unreachable) {
+    return cfg::Cfg(std::move(g), entry, std::move(blocks));
+  }
+
+  // Pass 4: prune to the entry-reachable subgraph with compact ids.
+  const auto reachable = graph::reachable_from(g, entry);
+  std::vector<graph::NodeId> remap(blocks.size(), graph::NodeId{0});
+  graph::DiGraph pruned;
+  std::vector<cfg::BasicBlock> pruned_blocks;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (reachable[b]) {
+      remap[b] = pruned.add_node();
+      pruned_blocks.push_back(blocks[b]);
+    }
+  }
+  for (const auto& [u, v] : g.edges()) {
+    if (reachable[u] && reachable[v]) pruned.add_edge(remap[u], remap[v]);
+  }
+  return cfg::Cfg(std::move(pruned), remap[entry], std::move(pruned_blocks));
+}
+
+}  // namespace soteria::frontend

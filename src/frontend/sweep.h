@@ -1,0 +1,60 @@
+// ISA-agnostic half of linear-sweep CFG extraction.
+//
+// Every front end reduces its instruction stream to a vector of
+// `SweptInstruction` — just control-flow kind plus an optional absolute
+// target index — and `build_cfg_from_sweep` turns that into a `cfg::Cfg`
+// with exactly the leader/block/edge/pruning discipline the original
+// toy-ISA extractor used:
+//
+//   * leaders: instruction 0, every in-range branch/call target, and
+//     every instruction following a block terminator;
+//   * edges, per block terminator:
+//       kJump        -> target
+//       kCondBranch  -> target + fall-through
+//       kCall        -> callee entry + fall-through (return path)
+//       kReturn/kHalt-> no successors
+//       kFallthrough -> fall-through (block ended at the next leader)
+//     added in that order, so the resulting DiGraph edge list — and
+//     therefore every content hash downstream — is bit-identical to the
+//     pre-seam `cfg::extract` for toy images (tests/frontend/ pins
+//     this);
+//   * optional pruning to the entry-reachable subgraph with compact ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cfg/cfg.h"
+#include "frontend/options.h"
+
+namespace soteria::frontend {
+
+/// How one decoded instruction affects control flow.
+enum class FlowKind : std::uint8_t {
+  kFallthrough = 0,  ///< ordinary instruction: next instruction follows
+  kJump,             ///< unconditional transfer to `target`
+  kCondBranch,       ///< `target` or fall-through
+  kCall,             ///< `target` plus the return fall-through path
+  kReturn,           ///< no static successors
+  kHalt,             ///< no successors (hlt / int3 / terminating trap)
+};
+
+/// One instruction of a linear sweep, reduced to what CFG construction
+/// needs. `target` is an absolute instruction *index* (not a byte
+/// offset); -1 means no in-range target — branches whose displacement
+/// leaves the image, or lands mid-instruction, get no edge, exactly
+/// like the toy extractor's out-of-range handling.
+struct SweptInstruction {
+  FlowKind kind = FlowKind::kFallthrough;
+  std::int64_t target = -1;
+};
+
+/// Builds the CFG of a swept instruction stream. `entry_index` is the
+/// instruction the program enters at (0 for raw images). Throws
+/// core::Error{kInvalidArgument} for an empty sweep or an out-of-range
+/// entry.
+[[nodiscard]] cfg::Cfg build_cfg_from_sweep(
+    std::span<const SweptInstruction> instructions, std::size_t entry_index,
+    const FrontendOptions& options);
+
+}  // namespace soteria::frontend

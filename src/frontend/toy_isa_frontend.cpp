@@ -1,0 +1,104 @@
+#include "frontend/toy_isa_frontend.h"
+
+#include <string>
+#include <vector>
+
+#include "frontend/sweep.h"
+#include "isa/isa.h"
+#include "obs/trace.h"
+#include "soteria/error.h"
+
+namespace soteria::frontend {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+/// Absolute instruction index a control-flow instruction at `index`
+/// targets, or -1 if the target lands outside the image. (Verbatim the
+/// pre-seam extractor's arithmetic — targets are relative to the
+/// *following* instruction.)
+std::int64_t branch_target(const Instruction& insn, std::size_t index,
+                           std::size_t instruction_count) {
+  const auto target =
+      static_cast<std::int64_t>(index) + 1 + static_cast<std::int64_t>(insn.imm);
+  if (target < 0 || target >= static_cast<std::int64_t>(instruction_count)) {
+    return -1;
+  }
+  return target;
+}
+
+FlowKind flow_kind(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kJmp:
+      return FlowKind::kJump;
+    case Opcode::kJz:
+    case Opcode::kJnz:
+    case Opcode::kJlt:
+    case Opcode::kJge:
+      return FlowKind::kCondBranch;
+    case Opcode::kCall:
+      return FlowKind::kCall;
+    case Opcode::kRet:
+      return FlowKind::kReturn;
+    case Opcode::kHalt:
+      return FlowKind::kHalt;
+    default:
+      return FlowKind::kFallthrough;
+  }
+}
+
+}  // namespace
+
+bool ToyIsaFrontend::can_decode(const loader::Image& image) const noexcept {
+  if (image.format == loader::Format::kRaw) return true;
+  return image.machine == loader::kElfMachineToyIsa;
+}
+
+cfg::Cfg ToyIsaFrontend::extract(const loader::Image& image,
+                                 const FrontendOptions& options) const {
+  const auto code = image.text;
+  if (code.empty()) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "ToyIsaFrontend: empty image");
+  }
+  if (options.max_image_bytes != 0 && code.size() > options.max_image_bytes) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "ToyIsaFrontend: image of " +
+                          std::to_string(code.size()) +
+                          " bytes exceeds max_image_bytes " +
+                          std::to_string(options.max_image_bytes));
+  }
+  if (code.size() % isa::kInstructionSize != 0) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "ToyIsaFrontend: image size " +
+                          std::to_string(code.size()) +
+                          " is not a multiple of the instruction width");
+  }
+  const std::uint64_t entry_offset = image.entry_text_offset();
+  if (entry_offset % isa::kInstructionSize != 0) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "ToyIsaFrontend: entry point not instruction-aligned");
+  }
+
+  const obs::Span span("cfg.extract");
+  const auto instructions = isa::disassemble(code);
+  const std::size_t n = instructions.size();
+  obs::registry().counter_add("soteria.cfg.images");
+  obs::registry().counter_add("soteria.cfg.instructions", n);
+
+  std::vector<SweptInstruction> swept(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instruction& insn = instructions[i];
+    swept[i].kind = flow_kind(insn.opcode);
+    if (isa::is_control_flow(insn.opcode)) {
+      swept[i].target = branch_target(insn, i, n);
+    }
+  }
+  return build_cfg_from_sweep(
+      swept, static_cast<std::size_t>(entry_offset / isa::kInstructionSize),
+      options);
+}
+
+}  // namespace soteria::frontend

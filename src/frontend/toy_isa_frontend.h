@@ -1,0 +1,37 @@
+// The toy-ISA (SIR-32) decoder, re-homed behind the Frontend seam.
+//
+// This is the original `cfg::extract` linear sweep — fixed 4-byte
+// instructions, exact leader detection — now one of N registered
+// decoders. It accepts raw images (the historical corpus format) and
+// ELF containers whose e_machine carries the toy tag
+// (loader::kElfMachineToyIsa), sweeping `.text` in the latter case.
+// For raw images the produced CFG is bit-identical to the pre-seam
+// `cfg::extract`, which now delegates here (pinned by
+// tests/frontend/toy_identity_test.cpp).
+#pragma once
+
+#include "frontend/frontend.h"
+
+namespace soteria::frontend {
+
+class ToyIsaFrontend final : public Frontend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "toy";
+  }
+
+  /// Raw images, or ELF tagged with the toy machine value.
+  [[nodiscard]] bool can_decode(
+      const loader::Image& image) const noexcept override;
+
+  /// Linear sweep over the code region. Throws
+  /// core::Error{kInvalidArgument} for an empty region, a size that is
+  /// not a multiple of the 4-byte instruction width, an entry point
+  /// that is not instruction-aligned, or a region over
+  /// `options.max_image_bytes`.
+  [[nodiscard]] cfg::Cfg extract(
+      const loader::Image& image,
+      const FrontendOptions& options = {}) const override;
+};
+
+}  // namespace soteria::frontend

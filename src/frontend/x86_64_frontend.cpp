@@ -1,0 +1,277 @@
+#include "frontend/x86_64_frontend.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "soteria/error.h"
+
+namespace soteria::frontend {
+
+namespace {
+
+bool is_legacy_prefix(std::uint8_t byte) noexcept {
+  switch (byte) {
+    case 0x26:  // es
+    case 0x2e:  // cs
+    case 0x36:  // ss
+    case 0x3e:  // ds
+    case 0x64:  // fs
+    case 0x65:  // gs
+    case 0x66:  // operand size
+    case 0x67:  // address size
+    case 0xf0:  // lock
+    case 0xf2:  // repne
+    case 0xf3:  // rep
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Reads a little-endian signed immediate of `width` bytes.
+std::int64_t read_signed(std::span<const std::uint8_t> code, std::size_t i,
+                         unsigned width) noexcept {
+  std::uint64_t value = 0;
+  for (unsigned b = 0; b < width; ++b) {
+    value |= static_cast<std::uint64_t>(code[i + b]) << (8 * b);
+  }
+  const unsigned shift = 64 - 8 * width;
+  return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+/// Bytes occupied by a ModRM byte plus its SIB and displacement, or 0
+/// if the encoding runs past `avail` (callers then fall back to the
+/// one-byte unknown path).
+std::size_t modrm_span(std::span<const std::uint8_t> code, std::size_t i,
+                       std::size_t end) noexcept {
+  if (i >= end) return 0;
+  const std::uint8_t modrm = code[i];
+  const std::uint8_t mod = modrm >> 6;
+  const std::uint8_t rm = modrm & 7;
+  std::size_t len = 1;
+  if (mod != 3) {
+    if (rm == 4) {  // SIB byte
+      if (i + len >= end) return 0;
+      const std::uint8_t sib = code[i + len];
+      ++len;
+      if (mod == 0 && (sib & 7) == 5) len += 4;  // disp32 with no base
+    }
+    if (mod == 1) {
+      len += 1;
+    } else if (mod == 2) {
+      len += 4;
+    } else if (mod == 0 && rm == 5) {
+      len += 4;  // RIP-relative disp32
+    }
+  }
+  return i + len <= end ? len : 0;
+}
+
+}  // namespace
+
+std::optional<X86Instruction> decode_x86_64(
+    std::span<const std::uint8_t> code, std::size_t offset) {
+  if (offset >= code.size()) return std::nullopt;
+  const std::size_t end = code.size();
+
+  // The conservative escape hatch: consume one byte as an unknown
+  // fall-through instruction. Everything below that cannot establish
+  // its exact length lands here, so the sweep always advances and
+  // never reads out of bounds.
+  const auto unknown = [] {
+    X86Instruction insn;
+    insn.length = 1;
+    insn.kind = FlowKind::kFallthrough;
+    insn.recognized = false;
+    return insn;
+  };
+
+  std::size_t i = offset;
+  bool opsize16 = false;
+  bool rex_w = false;
+  // Legacy prefixes (x86 caps the whole instruction at 15 bytes; more
+  // than 4 prefixes is already degenerate — treat as unknown).
+  while (i < end && is_legacy_prefix(code[i])) {
+    if (code[i] == 0x66) opsize16 = true;
+    ++i;
+    if (i - offset > 4) return unknown();
+  }
+  if (i < end && (code[i] & 0xf0) == 0x40) {  // REX
+    rex_w = (code[i] & 0x08) != 0;
+    ++i;
+  }
+  if (i >= end) return unknown();
+
+  const std::uint8_t op = code[i++];
+  const std::size_t imm32 = opsize16 ? 2 : 4;  // z-sized immediate
+
+  X86Instruction insn;
+  const auto done = [&](std::size_t extra, FlowKind kind) {
+    if (i + extra > end) return unknown();
+    insn.length = i + extra - offset;
+    insn.kind = kind;
+    return insn;
+  };
+  const auto with_modrm = [&](std::size_t imm_extra, FlowKind kind) {
+    const std::size_t span = modrm_span(code, i, end);
+    if (span == 0) return unknown();
+    return done(span + imm_extra, kind);
+  };
+  const auto branch = [&](unsigned rel_width, FlowKind kind) {
+    if (i + rel_width > end) return unknown();
+    insn.rel = read_signed(code, i, rel_width);
+    insn.has_target = true;
+    return done(rel_width, kind);
+  };
+
+  // Branch / call / ret space first — the part that defines blocks.
+  if (op >= 0x70 && op <= 0x7f) return branch(1, FlowKind::kCondBranch);
+  if (op == 0xeb) return branch(1, FlowKind::kJump);
+  if (op == 0xe9) return branch(4, FlowKind::kJump);
+  if (op == 0xe8) return branch(4, FlowKind::kCall);
+  if (op == 0xc3) return done(0, FlowKind::kReturn);
+  if (op == 0xc2) return done(2, FlowKind::kReturn);
+  if (op == 0xf4) return done(0, FlowKind::kHalt);   // hlt
+  if (op == 0xcc) return done(0, FlowKind::kHalt);   // int3
+  if (op == 0x0f) {
+    if (i >= end) return unknown();
+    const std::uint8_t op2 = code[i++];
+    if (op2 >= 0x80 && op2 <= 0x8f) return branch(4, FlowKind::kCondBranch);
+    if (op2 == 0x0b) return done(0, FlowKind::kHalt);  // ud2
+    if (op2 == 0x1f) return with_modrm(0, FlowKind::kFallthrough);  // nopw
+    if (op2 == 0x05) return done(0, FlowKind::kFallthrough);  // syscall
+    if (op2 == 0xaf || (op2 >= 0xb6 && op2 <= 0xbf) ||
+        (op2 >= 0x90 && op2 <= 0x9f) || (op2 >= 0x40 && op2 <= 0x4f)) {
+      // imul / movzx / movsx / setcc / cmovcc.
+      return with_modrm(0, FlowKind::kFallthrough);
+    }
+    return unknown();
+  }
+
+  // Common fall-through space, decoded for exact lengths so the sweep
+  // stays in phase across real compiler output.
+  if (op < 0x40 && (op & 0x07) <= 5 && op != 0x0f) {
+    // Two-operand ALU block (add/or/adc/sbb/and/sub/xor/cmp).
+    const std::uint8_t form = op & 0x07;
+    if (form <= 3) return with_modrm(0, FlowKind::kFallthrough);
+    if (form == 4) return done(1, FlowKind::kFallthrough);      // AL, imm8
+    return done(imm32, FlowKind::kFallthrough);                 // eAX, immz
+  }
+  if (op >= 0x50 && op <= 0x5f) return done(0, FlowKind::kFallthrough);
+  if (op == 0x63) return with_modrm(0, FlowKind::kFallthrough);  // movsxd
+  if (op == 0x68) return done(imm32, FlowKind::kFallthrough);    // push immz
+  if (op == 0x6a) return done(1, FlowKind::kFallthrough);        // push imm8
+  if (op == 0x69) return with_modrm(imm32, FlowKind::kFallthrough);
+  if (op == 0x6b) return with_modrm(1, FlowKind::kFallthrough);
+  if (op == 0x80 || op == 0x83) return with_modrm(1, FlowKind::kFallthrough);
+  if (op == 0x81) return with_modrm(imm32, FlowKind::kFallthrough);
+  if (op >= 0x84 && op <= 0x8b) {
+    return with_modrm(0, FlowKind::kFallthrough);  // test/xchg/mov
+  }
+  if (op == 0x8d) return with_modrm(0, FlowKind::kFallthrough);  // lea
+  if (op == 0x90 || op == 0x98 || op == 0x99 || op == 0xc9) {
+    return done(0, FlowKind::kFallthrough);  // nop / cwde / cdq / leave
+  }
+  if (op == 0xa8) return done(1, FlowKind::kFallthrough);
+  if (op == 0xa9) return done(imm32, FlowKind::kFallthrough);
+  if (op >= 0xb0 && op <= 0xb7) return done(1, FlowKind::kFallthrough);
+  if (op >= 0xb8 && op <= 0xbf) {
+    return done(rex_w ? 8 : imm32, FlowKind::kFallthrough);  // mov r, imm
+  }
+  if (op == 0xc0 || op == 0xc1) return with_modrm(1, FlowKind::kFallthrough);
+  if (op >= 0xd0 && op <= 0xd3) return with_modrm(0, FlowKind::kFallthrough);
+  if (op == 0xc6) return with_modrm(1, FlowKind::kFallthrough);
+  if (op == 0xc7) return with_modrm(imm32, FlowKind::kFallthrough);
+  if (op == 0xf6 || op == 0xf7) {
+    // Group 3: only the test forms carry an immediate.
+    if (i >= end) return unknown();
+    const std::uint8_t reg = (code[i] >> 3) & 7;
+    const std::size_t imm = reg <= 1 ? (op == 0xf6 ? 1 : imm32) : 0;
+    return with_modrm(imm, FlowKind::kFallthrough);
+  }
+  if (op == 0xfe) return with_modrm(0, FlowKind::kFallthrough);
+  if (op == 0xff) {
+    // Group 5: inc/dec/push fall through; indirect call keeps its
+    // return path; indirect jmp ends the block with no static target.
+    if (i >= end) return unknown();
+    const std::uint8_t reg = (code[i] >> 3) & 7;
+    if (reg == 2 || reg == 3) return with_modrm(0, FlowKind::kCall);
+    if (reg == 4 || reg == 5) return with_modrm(0, FlowKind::kJump);
+    return with_modrm(0, FlowKind::kFallthrough);
+  }
+
+  return unknown();
+}
+
+bool X8664Frontend::can_decode(const loader::Image& image) const noexcept {
+  return image.format == loader::Format::kElf &&
+         image.machine == loader::kElfMachineX8664;
+}
+
+cfg::Cfg X8664Frontend::extract(const loader::Image& image,
+                                const FrontendOptions& options) const {
+  const auto code = image.text;
+  if (code.empty()) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "X8664Frontend: empty code region");
+  }
+  if (options.max_image_bytes != 0 && code.size() > options.max_image_bytes) {
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "X8664Frontend: code region of " +
+                          std::to_string(code.size()) +
+                          " bytes exceeds max_image_bytes " +
+                          std::to_string(options.max_image_bytes));
+  }
+
+  const obs::Span span("cfg.extract");
+
+  // Pass 0: sweep the byte stream into instructions, recording each
+  // start offset so branch displacements can resolve to indices.
+  std::vector<std::size_t> starts;
+  std::vector<SweptInstruction> swept;
+  std::vector<std::int64_t> target_bytes;  // -1 = no target
+  std::size_t offset = 0;
+  while (offset < code.size()) {
+    const auto insn = *decode_x86_64(code, offset);
+    starts.push_back(offset);
+    SweptInstruction s;
+    s.kind = insn.kind;
+    swept.push_back(s);
+    target_bytes.push_back(
+        insn.has_target
+            ? static_cast<std::int64_t>(offset + insn.length) + insn.rel
+            : -1);
+    offset += insn.length;
+  }
+  obs::registry().counter_add("soteria.cfg.images");
+  obs::registry().counter_add("soteria.cfg.instructions", swept.size());
+
+  // Resolve byte targets to instruction indices; displacements landing
+  // mid-instruction or outside the region get no edge.
+  for (std::size_t i = 0; i < swept.size(); ++i) {
+    const std::int64_t byte = target_bytes[i];
+    if (byte < 0) continue;
+    const auto it = std::lower_bound(starts.begin(), starts.end(),
+                                     static_cast<std::size_t>(byte));
+    if (it != starts.end() &&
+        *it == static_cast<std::size_t>(byte)) {
+      swept[i].target = it - starts.begin();
+    }
+  }
+
+  // The ELF entry point starts the reachability sweep when it lands on
+  // an instruction boundary inside .text; otherwise offset 0 (the raw
+  // convention) is used.
+  std::size_t entry_index = 0;
+  const std::uint64_t entry_offset = image.entry_text_offset();
+  const auto entry_it = std::lower_bound(starts.begin(), starts.end(),
+                                         static_cast<std::size_t>(entry_offset));
+  if (entry_it != starts.end() && *entry_it == entry_offset) {
+    entry_index = static_cast<std::size_t>(entry_it - starts.begin());
+  }
+  return build_cfg_from_sweep(swept, entry_index, options);
+}
+
+}  // namespace soteria::frontend

@@ -1,0 +1,66 @@
+// x86-64 linear-sweep frontend (subset decoder).
+//
+// Decodes enough of the x86-64 instruction space to build honest basic
+// blocks from real `.text` sections: legacy + REX prefixes, the full
+// branch/call/ret family (jcc rel8/rel32, jmp rel8/rel32, call rel32,
+// indirect jmp/call through the 0xFF group, ret/ret-imm16, hlt, int3,
+// ud2), and the common ALU/mov/lea/test/push/pop/shift/imm groups with
+// exact ModRM/SIB/displacement/immediate lengths so the sweep stays in
+// phase across them. Anything outside the subset decodes conservatively
+// as a one-byte fall-through instruction — the sweep never desyncs into
+// UB, and unknown bytes can only *add* spurious fall-through, never
+// invent control flow.
+//
+// Branch displacements resolve to instruction *starts*; a displacement
+// that lands mid-instruction or outside `.text` yields no edge (the
+// same policy as the toy ISA's out-of-range targets). This is a linear
+// sweep like radare2's default analysis in the paper — recursive
+// descent and ARM are future frontends (see ROADMAP).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "frontend/frontend.h"
+#include "frontend/sweep.h"
+
+namespace soteria::frontend {
+
+/// One decoded (or conservatively skipped) x86-64 instruction.
+struct X86Instruction {
+  std::size_t length = 1;  ///< bytes consumed (>= 1)
+  FlowKind kind = FlowKind::kFallthrough;
+  /// Branch displacement relative to the next instruction; only
+  /// meaningful when `has_target`.
+  std::int64_t rel = 0;
+  bool has_target = false;
+  /// False when the opcode fell outside the decoded subset and the
+  /// byte was skipped as a one-byte unknown.
+  bool recognized = true;
+};
+
+/// Decodes the instruction at `code[offset..]`. Returns nullopt only
+/// when `offset` is at or past the end. Never reads past `code`.
+/// Exposed for the decoder unit tests.
+[[nodiscard]] std::optional<X86Instruction> decode_x86_64(
+    std::span<const std::uint8_t> code, std::size_t offset);
+
+class X8664Frontend final : public Frontend {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "x86_64";
+  }
+
+  /// ELF images with e_machine == EM_X86_64.
+  [[nodiscard]] bool can_decode(
+      const loader::Image& image) const noexcept override;
+
+  /// Linear sweep over `.text`. Throws core::Error{kInvalidArgument}
+  /// for an empty code region or one over `options.max_image_bytes`.
+  [[nodiscard]] cfg::Cfg extract(
+      const loader::Image& image,
+      const FrontendOptions& options = {}) const override;
+};
+
+}  // namespace soteria::frontend

@@ -1,0 +1,248 @@
+#include "loader/elf.h"
+
+#include <string>
+
+#include "soteria/error.h"
+
+namespace soteria::loader {
+
+namespace {
+
+using core::Error;
+using core::ErrorCode;
+
+constexpr std::size_t kIdentSize = 16;
+constexpr std::uint32_t kShtNobits = 8;
+constexpr std::uint32_t kPtLoad = 1;
+constexpr std::uint64_t kShfAlloc = 0x2;
+constexpr std::uint64_t kShfExecinstr = 0x4;
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw Error(ErrorCode::kCorruptModel, "load_elf: " + what);
+}
+
+/// Bounds-checked little/big-endian scalar reader over the file bytes.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, bool big_endian) noexcept
+      : bytes_(bytes), big_endian_(big_endian) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return bytes_.size(); }
+
+  [[nodiscard]] bool in_range(std::uint64_t offset,
+                              std::uint64_t length) const noexcept {
+    return offset <= bytes_.size() && length <= bytes_.size() - offset;
+  }
+
+  [[nodiscard]] std::uint8_t u8(std::uint64_t offset) const {
+    check(offset, 1);
+    return bytes_[static_cast<std::size_t>(offset)];
+  }
+  [[nodiscard]] std::uint16_t u16(std::uint64_t offset) const {
+    return static_cast<std::uint16_t>(scalar(offset, 2));
+  }
+  [[nodiscard]] std::uint32_t u32(std::uint64_t offset) const {
+    return static_cast<std::uint32_t>(scalar(offset, 4));
+  }
+  [[nodiscard]] std::uint64_t u64(std::uint64_t offset) const {
+    return scalar(offset, 8);
+  }
+  /// ELF "word-sized" field: 4 bytes in ELF32, 8 in ELF64.
+  [[nodiscard]] std::uint64_t word(std::uint64_t offset, bool elf64) const {
+    return elf64 ? u64(offset) : u32(offset);
+  }
+
+ private:
+  void check(std::uint64_t offset, std::uint64_t length) const {
+    if (!in_range(offset, length)) {
+      corrupt("truncated at offset " + std::to_string(offset));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t scalar(std::uint64_t offset,
+                                     unsigned width) const {
+    check(offset, width);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      const auto byte = static_cast<std::uint64_t>(
+          bytes_[static_cast<std::size_t>(offset) + i]);
+      value |= byte << (8 * (big_endian_ ? width - 1 - i : i));
+    }
+    return value;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  bool big_endian_;
+};
+
+/// Reads the NUL-terminated section name at `offset` inside the
+/// .shstrtab bounds; malformed names (offset past the table, no
+/// terminator before its end) are structural corruption.
+std::string section_name(std::span<const std::uint8_t> bytes,
+                         std::uint64_t strtab_offset,
+                         std::uint64_t strtab_size,
+                         std::uint32_t name_offset) {
+  if (name_offset >= strtab_size) corrupt("section name outside .shstrtab");
+  std::string name;
+  for (std::uint64_t i = strtab_offset + name_offset;; ++i) {
+    if (i >= strtab_offset + strtab_size || i >= bytes.size()) {
+      corrupt("unterminated section name");
+    }
+    const char c = static_cast<char>(bytes[static_cast<std::size_t>(i)]);
+    if (c == '\0') break;
+    name.push_back(c);
+  }
+  return name;
+}
+
+}  // namespace
+
+bool is_elf(std::span<const std::uint8_t> bytes) noexcept {
+  return bytes.size() >= 4 && bytes[0] == 0x7f && bytes[1] == 'E' &&
+         bytes[2] == 'L' && bytes[3] == 'F';
+}
+
+Image load_elf(std::span<const std::uint8_t> bytes) {
+  // --- e_ident: magic, class, data encoding, version. ---
+  if (bytes.size() < kIdentSize) corrupt("file smaller than e_ident");
+  if (!is_elf(bytes)) corrupt("bad magic");
+  const std::uint8_t ei_class = bytes[4];
+  if (ei_class != 1 && ei_class != 2) {
+    corrupt("bad EI_CLASS " + std::to_string(ei_class));
+  }
+  const bool elf64 = ei_class == 2;
+  const std::uint8_t ei_data = bytes[5];
+  if (ei_data != 1 && ei_data != 2) {
+    corrupt("bad EI_DATA " + std::to_string(ei_data));
+  }
+  const bool big_endian = ei_data == 2;
+  if (bytes[6] != 1) {
+    corrupt("bad EI_VERSION " + std::to_string(bytes[6]));
+  }
+  const Reader r(bytes, big_endian);
+
+  // --- ELF header (52 bytes for ELF32, 64 for ELF64). ---
+  const std::uint64_t ehsize = elf64 ? 64 : 52;
+  if (!r.in_range(0, ehsize)) corrupt("file smaller than ELF header");
+
+  Image image;
+  image.format = Format::kElf;
+  image.elf_class = elf64 ? ElfClass::kElf64 : ElfClass::kElf32;
+  image.big_endian = big_endian;
+  image.bytes = bytes;
+  image.machine = r.u16(18);
+  if (r.u32(20) != 1) corrupt("bad e_version");
+  image.entry = r.word(24, elf64);
+
+  const std::uint64_t phoff = r.word(elf64 ? 32 : 28, elf64);
+  const std::uint64_t shoff = r.word(elf64 ? 40 : 32, elf64);
+  const std::uint16_t phentsize = r.u16(elf64 ? 54 : 42);
+  const std::uint16_t phnum = r.u16(elf64 ? 56 : 44);
+  const std::uint16_t shentsize = r.u16(elf64 ? 58 : 46);
+  const std::uint16_t shnum = r.u16(elf64 ? 60 : 48);
+  const std::uint16_t shstrndx = r.u16(elf64 ? 62 : 50);
+
+  // --- Program headers. ---
+  const std::uint64_t min_phentsize = elf64 ? 56 : 32;
+  if (phnum > 0) {
+    if (phentsize < min_phentsize) corrupt("e_phentsize too small");
+    if (!r.in_range(phoff, static_cast<std::uint64_t>(phentsize) * phnum)) {
+      corrupt("program header table out of range");
+    }
+    image.segments.reserve(phnum);
+    for (std::uint16_t i = 0; i < phnum; ++i) {
+      const std::uint64_t ph = phoff + static_cast<std::uint64_t>(i) * phentsize;
+      Segment seg;
+      seg.type = r.u32(ph);
+      // ELF64 moved p_flags up next to p_type; ELF32 keeps it after
+      // p_memsz.
+      const std::uint32_t flags = elf64 ? r.u32(ph + 4) : r.u32(ph + 24);
+      seg.offset = r.word(ph + (elf64 ? 8 : 4), elf64);
+      seg.vaddr = r.word(ph + (elf64 ? 16 : 8), elf64);
+      seg.file_size = r.word(ph + (elf64 ? 32 : 16), elf64);
+      seg.mem_size = r.word(ph + (elf64 ? 40 : 20), elf64);
+      seg.executable = (flags & 0x1) != 0;  // PF_X
+      if (seg.type == kPtLoad && !r.in_range(seg.offset, seg.file_size)) {
+        corrupt("PT_LOAD segment " + std::to_string(i) + " out of range");
+      }
+      image.segments.push_back(seg);
+    }
+  }
+
+  // --- Section headers + names via .shstrtab. ---
+  const std::uint64_t min_shentsize = elf64 ? 64 : 40;
+  if (shnum > 0) {
+    if (shentsize < min_shentsize) corrupt("e_shentsize too small");
+    if (!r.in_range(shoff, static_cast<std::uint64_t>(shentsize) * shnum)) {
+      corrupt("section header table out of range");
+    }
+    if (shstrndx >= shnum) corrupt("e_shstrndx out of range");
+    const std::uint64_t strtab_header =
+        shoff + static_cast<std::uint64_t>(shstrndx) * shentsize;
+    const std::uint64_t strtab_offset =
+        r.word(strtab_header + (elf64 ? 24 : 16), elf64);
+    const std::uint64_t strtab_size =
+        r.word(strtab_header + (elf64 ? 32 : 20), elf64);
+    if (!r.in_range(strtab_offset, strtab_size)) {
+      corrupt(".shstrtab out of range");
+    }
+
+    image.sections.reserve(shnum);
+    for (std::uint16_t i = 0; i < shnum; ++i) {
+      const std::uint64_t sh = shoff + static_cast<std::uint64_t>(i) * shentsize;
+      const std::uint32_t name_offset = r.u32(sh);
+      const std::uint32_t type = r.u32(sh + 4);
+      const std::uint64_t flags = r.word(sh + 8, elf64);
+      Section section;
+      section.address = r.word(sh + (elf64 ? 16 : 12), elf64);
+      section.offset = r.word(sh + (elf64 ? 24 : 16), elf64);
+      section.size = r.word(sh + (elf64 ? 32 : 20), elf64);
+      section.executable = (flags & kShfExecinstr) != 0;
+      section.loadable = (flags & kShfAlloc) != 0;
+      // SHT_NOBITS (.bss) occupies no file bytes; everything else that
+      // claims file extent must fit in the file.
+      if (type != kShtNobits && !r.in_range(section.offset, section.size)) {
+        corrupt("section " + std::to_string(i) + " out of range");
+      }
+      section.name =
+          section_name(bytes, strtab_offset, strtab_size, name_offset);
+      image.sections.push_back(std::move(section));
+    }
+  }
+
+  // --- Locate the code region: the .text section, else the first
+  // executable PT_LOAD segment (sectionless firmware blobs). ---
+  for (const auto& section : image.sections) {
+    if (section.name == ".text" && section.executable) {
+      image.text = bytes.subspan(static_cast<std::size_t>(section.offset),
+                                 static_cast<std::size_t>(section.size));
+      image.text_vaddr = section.address;
+      return image;
+    }
+  }
+  for (const auto& seg : image.segments) {
+    if (seg.type == kPtLoad && seg.executable && seg.file_size > 0) {
+      image.text = bytes.subspan(static_cast<std::size_t>(seg.offset),
+                                 static_cast<std::size_t>(seg.file_size));
+      image.text_vaddr = seg.vaddr;
+      return image;
+    }
+  }
+  throw Error(ErrorCode::kInvalidArgument,
+              "load_elf: no executable .text section or PT_LOAD segment");
+}
+
+Image load_image(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    throw Error(ErrorCode::kInvalidArgument, "load_image: empty image");
+  }
+  if (is_elf(bytes)) return load_elf(bytes);
+  Image image;
+  image.format = Format::kRaw;
+  image.machine = kElfMachineToyIsa;
+  image.bytes = bytes;
+  image.text = bytes;
+  return image;
+}
+
+}  // namespace soteria::loader

@@ -1,0 +1,46 @@
+// Minimal ELF32/ELF64 loader (the container-format half of the binary
+// front end; see loader/image.h for the architecture note).
+//
+// Scope: enough of the ELF spec to take a real firmware binary to its
+// executable code — ident validation (magic, class, data encoding,
+// version), the ELF header, every program header, every section
+// header with names resolved through .shstrtab, and `.text` location
+// plus the entry point. Both classes and both byte orders parse; the
+// rest of the spec (relocations, symbols, dynamic linking) is out of
+// scope because the CFG front ends only need the code bytes.
+//
+// Every malformed input surfaces as a typed `core::Error` — a file
+// that is not ELF at all, or whose structure is inconsistent with its
+// own header fields (truncated tables, out-of-range offsets), throws
+// `kCorruptModel`; a well-formed ELF the pipeline cannot use (no
+// `.text`) throws `kInvalidArgument`. No input reaches undefined
+// behavior: every offset and size is bounds-checked before it is
+// dereferenced (tests/loader/ sweeps every truncation of the golden
+// fixtures and every flipped ident byte).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "loader/image.h"
+
+namespace soteria::loader {
+
+/// True if `bytes` starts with the 4-byte ELF magic. A cheap sniff for
+/// format auto-detection; says nothing about overall validity.
+[[nodiscard]] bool is_elf(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Parses `bytes` as ELF32/ELF64 and locates `.text` and the entry
+/// point. The returned Image views `bytes` (no copy) — the caller
+/// keeps the buffer alive. Throws core::Error{kCorruptModel} for
+/// structurally invalid input and core::Error{kInvalidArgument} for a
+/// valid ELF without an executable `.text` section.
+[[nodiscard]] Image load_elf(std::span<const std::uint8_t> bytes);
+
+/// Loads a binary of either supported container format: ELF when the
+/// magic matches (full validation applies), otherwise a raw toy-ISA
+/// image spanning the whole buffer. Throws core::Error{kInvalidArgument}
+/// for an empty buffer.
+[[nodiscard]] Image load_image(std::span<const std::uint8_t> bytes);
+
+}  // namespace soteria::loader

@@ -1,0 +1,36 @@
+// Minimal ELF emitter: wraps a code blob into a well-formed ELF32 or
+// ELF64 file with one PT_LOAD segment and three sections (NULL, .text,
+// .shstrtab). The inverse of loader/elf.h for the subset this repo
+// uses — `soteria_cli corpus --format elf` emits toy-ISA corpora in
+// this shape so the serving path exercises the real loader, and the
+// committed golden fixtures under tests/loader/fixtures/ were
+// generated (then hand-verified and pinned byte-for-byte) from it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "loader/image.h"
+
+namespace soteria::loader {
+
+/// Knobs for write_elf. Defaults produce a little-endian ELF64 with
+/// the toy-ISA machine tag, entry at the start of .text.
+struct ElfWriteOptions {
+  ElfClass elf_class = ElfClass::kElf64;
+  bool big_endian = false;
+  std::uint16_t machine = kElfMachineToyIsa;
+  /// Virtual address .text is linked at.
+  std::uint64_t text_vaddr = 0x400000;
+  /// Entry point as an offset into the code blob.
+  std::uint64_t entry_offset = 0;
+};
+
+/// Emits a complete ELF file whose .text holds `code`. Throws
+/// core::Error{kInvalidArgument} for an invalid class or an
+/// entry_offset outside the code blob.
+[[nodiscard]] std::vector<std::uint8_t> write_elf(
+    std::span<const std::uint8_t> code, const ElfWriteOptions& options = {});
+
+}  // namespace soteria::loader

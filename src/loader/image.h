@@ -1,0 +1,99 @@
+// Loaded-binary abstraction: what a front end decodes.
+//
+// An `Image` is a non-owning *view* of one binary — the raw file bytes,
+// the located code region (`.text` for ELF, the whole file for raw toy
+// images), and enough format metadata (class, endianness, machine,
+// entry point) for a `frontend::Frontend` to decide whether it can
+// decode it. Views keep loading allocation-free on the serving hot
+// path; the caller owns the underlying byte buffer and must keep it
+// alive for the lifetime of the Image (exactly like std::span).
+//
+// The loader/ + frontend/ split mirrors Boomerang's architecture:
+// loader/ understands container formats (ELF here), frontend/
+// understands instruction sets, and everything downstream of
+// `cfg::Cfg` is format- and ISA-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace soteria::loader {
+
+/// Container format of a binary image.
+enum class Format : std::uint8_t {
+  kRaw = 0,  ///< bare code bytes (the toy-ISA corpus format)
+  kElf = 1,  ///< ELF32/ELF64 (see loader/elf.h)
+};
+
+/// ELF class of an image; kNone for raw images.
+enum class ElfClass : std::uint8_t { kNone = 0, kElf32 = 1, kElf64 = 2 };
+
+/// `e_machine` value this repo uses to tag ELF containers whose .text
+/// holds toy-ISA (SIR-32) code — the wrap format `soteria_cli corpus
+/// --format elf` emits. Outside every assigned EM_* range.
+inline constexpr std::uint16_t kElfMachineToyIsa = 0x5349;  // "SI"
+
+/// `e_machine` for x86-64 (EM_X86_64).
+inline constexpr std::uint16_t kElfMachineX8664 = 62;
+
+/// One parsed section (ELF only; raw images have none).
+struct Section {
+  std::string name;
+  std::uint64_t address = 0;  ///< virtual address (sh_addr)
+  std::uint64_t offset = 0;   ///< file offset (sh_offset)
+  std::uint64_t size = 0;     ///< sh_size
+  bool executable = false;    ///< SHF_EXECINSTR
+  bool loadable = false;      ///< SHT_PROGBITS / SHT_NOBITS with SHF_ALLOC
+};
+
+/// One parsed program header (ELF only).
+struct Segment {
+  std::uint32_t type = 0;  ///< p_type (1 = PT_LOAD)
+  std::uint64_t offset = 0;
+  std::uint64_t vaddr = 0;
+  std::uint64_t file_size = 0;
+  std::uint64_t mem_size = 0;
+  bool executable = false;  ///< PF_X
+};
+
+/// A loaded binary, ready for a front end. Non-owning: `bytes` and
+/// `text` view the caller's buffer.
+struct Image {
+  Format format = Format::kRaw;
+  ElfClass elf_class = ElfClass::kNone;
+  bool big_endian = false;
+  /// e_machine for ELF images; kElfMachineToyIsa by convention for raw
+  /// toy images (raw images *are* toy code — there is nothing else a
+  /// bare byte stream can be in this repo).
+  std::uint16_t machine = kElfMachineToyIsa;
+
+  /// The whole file.
+  std::span<const std::uint8_t> bytes;
+
+  /// The code region a front end sweeps: `.text` for ELF, the entire
+  /// file for raw images.
+  std::span<const std::uint8_t> text;
+  /// Virtual address the code region is mapped at (0 for raw).
+  std::uint64_t text_vaddr = 0;
+
+  /// Program entry point as a virtual address (e_entry; 0 for raw,
+  /// where execution starts at offset 0 by convention).
+  std::uint64_t entry = 0;
+
+  std::vector<Section> sections;
+  std::vector<Segment> segments;
+
+  /// Entry point as a byte offset into `text`, or 0 when the entry does
+  /// not land inside the code region (front ends then start the sweep
+  /// at the first decoded instruction, matching the raw convention).
+  [[nodiscard]] std::uint64_t entry_text_offset() const noexcept {
+    if (entry >= text_vaddr && entry - text_vaddr < text.size()) {
+      return entry - text_vaddr;
+    }
+    return 0;
+  }
+};
+
+}  // namespace soteria::loader

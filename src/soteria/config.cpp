@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "frontend/frontend.h"
 #include "runtime/thread_pool.h"
 
 namespace soteria::core {
@@ -35,6 +36,11 @@ void validate(const SoteriaConfig& config) {
   if (config.num_threads > runtime::kMaxThreads) {
     throw std::invalid_argument("SoteriaConfig: num_threads exceeds " +
                                 std::to_string(runtime::kMaxThreads));
+  }
+  if (!config.frontend.empty() &&
+      frontend::FrontendRegistry::builtin().find(config.frontend) == nullptr) {
+    throw std::invalid_argument("SoteriaConfig: unknown frontend \"" +
+                                config.frontend + "\"");
   }
 }
 

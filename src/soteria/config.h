@@ -74,6 +74,14 @@ struct SoteriaConfig {
   /// `pipeline.labeling.approx` (epsilon/delta or explicit pivots).
   std::size_t approx_centrality_threshold = 0;
 
+  /// Name of the binary front end whose CFGs this system is trained on
+  /// ("toy", "x86_64"; see frontend/frontend.h). Empty (the default)
+  /// defers to `pipeline.frontend`. A non-empty value is copied into
+  /// `pipeline.frontend` by train() (like approx_centrality_threshold)
+  /// and travels with the saved model from then on, keying the feature
+  /// store by decoder via the pipeline fingerprint.
+  std::string frontend;
+
   /// Capacity (entries) of the shared DBL/LBL labeling cache installed
   /// on the feature pipeline; 0 disables caching. Labeling is a pure
   /// function of CFG content, so the cache only removes re-derivation

@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "cfg/labeling_cache.h"
+#include "frontend/frontend.h"
 #include "io/binary_io.h"
+#include "loader/elf.h"
 #include "obs/trace.h"
 #include "soteria/frozen.h"
 #include "store/feature_store.h"
@@ -51,6 +53,11 @@ SoteriaSystem SoteriaSystem::train(
   if (config.approx_centrality_threshold != 0) {
     system.config_.pipeline.labeling.approx_centrality_threshold =
         config.approx_centrality_threshold;
+  }
+  // Same override pattern for the decoder identity: the pipeline's copy
+  // is the persisted source of truth (and feeds the fingerprint).
+  if (!config.frontend.empty()) {
+    system.config_.pipeline.frontend = config.frontend;
   }
   math::Rng rng(config.seed);
   const std::size_t threads = runtime::resolve_threads(config.num_threads);
@@ -224,6 +231,16 @@ Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg,
       cfg, fresh_rng, options.feature_store.get()));
 }
 
+Verdict SoteriaSystem::analyze_image(std::span<const std::uint8_t> bytes,
+                                     const math::Rng& fresh_rng,
+                                     const AnalyzeOptions& options) const {
+  const loader::Image image = loader::load_image(bytes);
+  const frontend::Frontend& fe = frontend::resolve_frontend(
+      frontend::FrontendRegistry::builtin(), image, options.frontend);
+  const cfg::Cfg cfg = fe.extract(image);
+  return analyze(cfg, fresh_rng, options);
+}
+
 std::vector<Verdict> SoteriaSystem::analyze_batch(
     std::span<const cfg::Cfg> cfgs, const math::Rng& rng,
     const AnalyzeOptions& options) const {
@@ -316,6 +333,7 @@ SoteriaSystem SoteriaSystem::load(std::istream& in) try {
   system.config_.pipeline = system.pipeline_.config();
   system.config_.approx_centrality_threshold =
       system.config_.pipeline.labeling.approx_centrality_threshold;
+  system.config_.frontend = system.config_.pipeline.frontend;
   // Runtime-only state is not persisted; re-create the labeling cache
   // at the default capacity so batch analysis on a loaded model keeps
   // the cross-call memoization.

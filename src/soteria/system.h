@@ -64,6 +64,12 @@ struct AnalyzeOptions {
   /// `config().use_frozen`; either way the flag is a no-op until
   /// freeze() has run. Verdicts are bit-identical on both paths.
   std::optional<bool> use_frozen;
+
+  /// Front end used by analyze_image to decode the binary: a name from
+  /// the built-in registry ("toy", "x86_64"), or empty / "auto" (the
+  /// default) for magic-byte detection. Ignored by the CFG-taking
+  /// entry points, which are already past decoding.
+  std::string frontend;
 };
 
 class SoteriaSystem {
@@ -91,6 +97,18 @@ class SoteriaSystem {
   [[nodiscard]] Verdict analyze(const cfg::Cfg& cfg,
                                 const math::Rng& fresh_rng,
                                 const AnalyzeOptions& options) const;
+
+  /// Analyzes a binary image end to end: loads it (raw toy bytes or an
+  /// ELF container, via loader::load_image), resolves a front end from
+  /// the built-in registry (`options.frontend`; auto-detected by
+  /// default), extracts the CFG, and analyzes it with the options'
+  /// semantics (`fresh_rng` keys the feature store exactly as in the
+  /// CFG overload). Throws core::Error{kCorruptModel} for a malformed
+  /// ELF and core::Error{kInvalidArgument} for an image no front end
+  /// accepts.
+  [[nodiscard]] Verdict analyze_image(std::span<const std::uint8_t> bytes,
+                                      const math::Rng& fresh_rng,
+                                      const AnalyzeOptions& options = {}) const;
 
   /// Runs detector + classifier on pre-extracted features. Safe for
   /// concurrent callers.

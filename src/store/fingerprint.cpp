@@ -18,7 +18,11 @@ namespace {
 ///   v2: TF-IDF arithmetic moved to float throughout
 ///       (Vocabulary::tfidf_into); persisted v1 bundles differ in the
 ///       low mantissa bits, so they must not hit.
-constexpr std::uint64_t kFingerprintVersion = 2;
+///   v3: serialized pipeline blob grew the front-end name
+///       (PipelineConfig::frontend) — CFGs now come from pluggable
+///       decoders, and entries keyed under the v2 layout predate that
+///       distinction.
+constexpr std::uint64_t kFingerprintVersion = 3;
 
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;

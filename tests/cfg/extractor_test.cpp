@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "isa/assembler.h"
+#include "soteria/error.h"
 
 namespace soteria::cfg {
 namespace {
@@ -29,10 +30,19 @@ TEST(Extractor, StraightLineIsOneBlock) {
 }
 
 TEST(Extractor, EmptyImageThrows) {
-  EXPECT_THROW((void)extract(std::vector<std::uint8_t>{}),
-               std::invalid_argument);
+  try {
+    (void)extract(std::vector<std::uint8_t>{});
+    FAIL() << "empty image should throw";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+  }
   const std::vector<std::uint8_t> ragged{1, 2, 3};
-  EXPECT_THROW((void)extract(ragged), std::invalid_argument);
+  try {
+    (void)extract(ragged);
+    FAIL() << "ragged image should throw";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+  }
 }
 
 TEST(Extractor, BranchCreatesDiamond) {

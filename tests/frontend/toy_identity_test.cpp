@@ -1,0 +1,229 @@
+// Bit-identity pin: re-homing the toy-ISA sweep behind the Frontend
+// seam must not change a single CFG. `cfg::extract` (now a delegating
+// wrapper), `ToyIsaFrontend` on a raw image, and `ToyIsaFrontend` on
+// the same code wrapped in an ELF32/ELF64 container must agree on
+// entry, node count, block metadata, and the exact DiGraph edge *order*
+// — the edge order feeds LabelingCache::content_hash and therefore
+// every cache and store key downstream.
+#include "frontend/toy_isa_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cfg/extractor.h"
+#include "cfg/labeling_cache.h"
+#include "isa/assembler.h"
+#include "isa/isa.h"
+#include "loader/elf.h"
+#include "loader/elf_writer.h"
+#include "soteria/error.h"
+
+namespace soteria::frontend {
+namespace {
+
+loader::Image raw_image(std::span<const std::uint8_t> bytes) {
+  loader::Image image;
+  image.bytes = bytes;
+  image.text = bytes;
+  return image;
+}
+
+/// Structural equality down to edge order and block metadata — the
+/// full observable surface of a Cfg.
+void expect_identical(const cfg::Cfg& a, const cfg::Cfg& b) {
+  EXPECT_EQ(a.entry(), b.entry());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.graph().edges(), b.graph().edges());
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].first_instruction, b.blocks()[i].first_instruction);
+    EXPECT_EQ(a.blocks()[i].instruction_count, b.blocks()[i].instruction_count);
+  }
+  EXPECT_EQ(cfg::LabelingCache::content_hash(a),
+            cfg::LabelingCache::content_hash(b));
+}
+
+/// Extracts `code` through every toy path (wrapper, raw frontend,
+/// ELF32 wrap, ELF64 wrap) and asserts all four agree.
+void expect_all_paths_identical(const std::vector<std::uint8_t>& code,
+                                const FrontendOptions& options) {
+  const ToyIsaFrontend toy;
+  const cfg::Cfg via_wrapper = cfg::extract(code, options);
+  const cfg::Cfg via_raw = toy.extract(raw_image(code), options);
+  expect_identical(via_wrapper, via_raw);
+
+  for (const loader::ElfClass elf_class :
+       {loader::ElfClass::kElf32, loader::ElfClass::kElf64}) {
+    loader::ElfWriteOptions elf_options;
+    elf_options.elf_class = elf_class;
+    const auto elf_bytes = loader::write_elf(code, elf_options);
+    const auto image = loader::load_elf(elf_bytes);
+    ASSERT_TRUE(toy.can_decode(image));
+    expect_identical(via_wrapper, toy.extract(image, options));
+  }
+}
+
+std::vector<std::uint8_t> diamond_code() {
+  isa::AsmProgram p;
+  p.emit(isa::Opcode::kCmpImm, 0, 5);
+  p.emit_branch(isa::Opcode::kJz, "else");
+  p.emit(isa::Opcode::kMovImm, 1, 1);
+  p.emit_branch(isa::Opcode::kJmp, "end");
+  p.define_label("else");
+  p.emit(isa::Opcode::kMovImm, 1, 2);
+  p.define_label("end");
+  p.emit(isa::Opcode::kHalt);
+  return assemble(p);
+}
+
+TEST(ToyIdentity, DiamondMatchesAcrossAllPaths) {
+  const auto code = diamond_code();
+  expect_all_paths_identical(code, FrontendOptions{});
+
+  // And the diamond's structure itself stays pinned: blocks [0,1],
+  // [2,3], [4], [5]; edges in exactly the pre-seam order.
+  const auto cfg = cfg::extract(code);
+  ASSERT_EQ(cfg.node_count(), 4U);
+  EXPECT_EQ(cfg.entry(), 0U);
+  const std::vector<std::pair<graph::NodeId, graph::NodeId>> expected = {
+      {0, 2}, {0, 1}, {1, 3}, {2, 3}};
+  EXPECT_EQ(cfg.graph().edges(), expected);
+}
+
+TEST(ToyIdentity, UnreachableCodeUnprunedMatches) {
+  isa::AsmProgram p;
+  p.emit_branch(isa::Opcode::kJmp, "end");
+  p.emit(isa::Opcode::kMovImm, 0, 7);  // unreachable
+  p.define_label("end");
+  p.emit(isa::Opcode::kHalt);
+  const auto code = assemble(p);
+
+  FrontendOptions keep;
+  keep.prune_unreachable = false;
+  expect_all_paths_identical(code, keep);
+  expect_all_paths_identical(code, FrontendOptions{});
+
+  const auto pruned = cfg::extract(code);
+  const auto unpruned = cfg::extract(code, keep);
+  EXPECT_LT(pruned.node_count(), unpruned.node_count());
+}
+
+TEST(ToyIdentity, RandomizedImagesMatchAcrossAllPaths) {
+  // Deterministic xorshift fuzz over two populations: streams of valid
+  // opcodes with aggressive branch immediates (dense control flow), and
+  // fully random words (exercises the unknown-opcode path).
+  std::uint64_t state = 0x2545f4914f6cdd1dULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::vector<std::uint8_t> opcodes = {
+      0x00, 0x01, 0x10, 0x12, 0x21, 0x30, 0x32,
+      0x40, 0x41, 0x42, 0x50, 0x51, 0x60,
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t count = 1 + next() % 48;
+    std::vector<std::uint8_t> code;
+    code.reserve(count * isa::kInstructionSize);
+    const bool valid_opcodes = trial % 2 == 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint8_t opcode =
+          valid_opcodes ? opcodes[next() % opcodes.size()]
+                        : static_cast<std::uint8_t>(next() & 0xff);
+      code.push_back(opcode);
+      code.push_back(static_cast<std::uint8_t>(next() & 0xff));
+      // Small signed immediate so branches mostly stay in range.
+      const auto imm = static_cast<std::int16_t>(
+          static_cast<std::int64_t>(next() % (2 * count)) -
+          static_cast<std::int64_t>(count));
+      code.push_back(static_cast<std::uint8_t>(imm & 0xff));
+      code.push_back(static_cast<std::uint8_t>((imm >> 8) & 0xff));
+    }
+
+    FrontendOptions keep;
+    keep.prune_unreachable = false;
+    expect_all_paths_identical(code, FrontendOptions{});
+    expect_all_paths_identical(code, keep);
+  }
+}
+
+TEST(ToyIdentity, ElfEntryPointSelectsEntryBlock) {
+  // Entry at instruction 2: the ELF path must honor e_entry where the
+  // raw path starts at 0 by convention.
+  isa::AsmProgram p;
+  p.emit(isa::Opcode::kHalt);      // 0: only reachable from entry 0
+  p.emit(isa::Opcode::kNop);       // 1
+  p.emit(isa::Opcode::kMovImm, 0, 3);  // 2: ELF entry
+  p.emit(isa::Opcode::kHalt);      // 3
+  const auto code = assemble(p);
+
+  loader::ElfWriteOptions options;
+  options.entry_offset = 2 * isa::kInstructionSize;
+  const auto elf_bytes = loader::write_elf(code, options);
+  const auto image = loader::load_elf(elf_bytes);
+  EXPECT_EQ(image.entry_text_offset(), 8U);
+
+  const ToyIsaFrontend toy;
+  const auto cfg = toy.extract(image);
+  ASSERT_TRUE(cfg.has_block_metadata());
+  EXPECT_EQ(cfg.blocks()[cfg.entry()].first_instruction, 2U);
+
+  const auto raw_cfg = toy.extract(raw_image(code));
+  EXPECT_EQ(raw_cfg.blocks()[raw_cfg.entry()].first_instruction, 0U);
+}
+
+TEST(ToyIdentity, GuardsAreTypedErrors) {
+  const ToyIsaFrontend toy;
+  const auto code = diamond_code();
+
+  {
+    const std::vector<std::uint8_t> empty;
+    try {
+      (void)toy.extract(raw_image(empty));
+      FAIL() << "empty image";
+    } catch (const core::Error& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+    }
+  }
+  {
+    const std::vector<std::uint8_t> ragged = {1, 2, 3};
+    try {
+      (void)toy.extract(raw_image(ragged));
+      FAIL() << "ragged image";
+    } catch (const core::Error& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+    }
+  }
+  {
+    FrontendOptions small;
+    small.max_image_bytes = 8;
+    try {
+      (void)toy.extract(raw_image(code), small);
+      FAIL() << "max_image_bytes";
+    } catch (const core::Error& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+    }
+  }
+  {
+    // Unaligned ELF entry point.
+    loader::ElfWriteOptions options;
+    options.entry_offset = 2;
+    const auto elf_bytes = loader::write_elf(code, options);
+    const auto image = loader::load_elf(elf_bytes);
+    try {
+      (void)toy.extract(image);
+      FAIL() << "unaligned entry";
+    } catch (const core::Error& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soteria::frontend

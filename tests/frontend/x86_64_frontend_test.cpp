@@ -1,0 +1,301 @@
+// x86-64 subset decoder + linear-sweep frontend tests. The decoder
+// assertions pin exact instruction lengths (the property that keeps a
+// linear sweep in phase) and flow kinds for the encodings the frontend
+// claims to understand; the CFG assertions cover the committed
+// x86_branch.elf64 fixture, whose disassembly was cross-checked against
+// binutils objdump when the fixture was generated.
+#include "frontend/x86_64_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "loader/elf.h"
+#include "loader/elf_writer.h"
+#include "soteria/error.h"
+
+namespace soteria::frontend {
+namespace {
+
+X86Instruction decode(const std::vector<std::uint8_t>& bytes,
+                      std::size_t offset = 0) {
+  const auto insn = decode_x86_64(bytes, offset);
+  EXPECT_TRUE(insn.has_value());
+  return insn.value_or(X86Instruction{});
+}
+
+TEST(X86Decode, PastTheEndIsNullopt) {
+  const std::vector<std::uint8_t> bytes = {0x90};
+  EXPECT_FALSE(decode_x86_64(bytes, 1).has_value());
+  EXPECT_FALSE(decode_x86_64(bytes, 100).has_value());
+  EXPECT_FALSE(decode_x86_64({}, 0).has_value());
+}
+
+TEST(X86Decode, BranchFamily) {
+  {
+    const auto insn = decode({0x74, 0x08});  // je +8
+    EXPECT_EQ(insn.length, 2U);
+    EXPECT_EQ(insn.kind, FlowKind::kCondBranch);
+    EXPECT_TRUE(insn.has_target);
+    EXPECT_EQ(insn.rel, 8);
+  }
+  {
+    const auto insn = decode({0x0f, 0x84, 0x01, 0x00, 0x00, 0x00});
+    EXPECT_EQ(insn.length, 6U);  // je rel32
+    EXPECT_EQ(insn.kind, FlowKind::kCondBranch);
+    EXPECT_EQ(insn.rel, 1);
+  }
+  {
+    const auto insn = decode({0xeb, 0xfe});  // jmp -2 (self loop)
+    EXPECT_EQ(insn.length, 2U);
+    EXPECT_EQ(insn.kind, FlowKind::kJump);
+    EXPECT_EQ(insn.rel, -2);
+  }
+  {
+    const auto insn = decode({0xe9, 0x00, 0x01, 0x00, 0x00});
+    EXPECT_EQ(insn.length, 5U);  // jmp rel32
+    EXPECT_EQ(insn.kind, FlowKind::kJump);
+    EXPECT_EQ(insn.rel, 256);
+  }
+  {
+    const auto insn = decode({0xe8, 0xf1, 0xff, 0xff, 0xff});
+    EXPECT_EQ(insn.length, 5U);  // call rel32
+    EXPECT_EQ(insn.kind, FlowKind::kCall);
+    EXPECT_EQ(insn.rel, -15);
+  }
+  EXPECT_EQ(decode({0xc3}).kind, FlowKind::kReturn);
+  {
+    const auto insn = decode({0xc2, 0x08, 0x00});  // ret imm16
+    EXPECT_EQ(insn.length, 3U);
+    EXPECT_EQ(insn.kind, FlowKind::kReturn);
+  }
+  EXPECT_EQ(decode({0xf4}).kind, FlowKind::kHalt);  // hlt
+  EXPECT_EQ(decode({0xcc}).kind, FlowKind::kHalt);  // int3
+  {
+    const auto insn = decode({0x0f, 0x0b});  // ud2
+    EXPECT_EQ(insn.length, 2U);
+    EXPECT_EQ(insn.kind, FlowKind::kHalt);
+  }
+}
+
+TEST(X86Decode, IndirectBranchesThroughGroup5) {
+  {
+    const auto insn = decode({0xff, 0xd0});  // call rax
+    EXPECT_EQ(insn.length, 2U);
+    EXPECT_EQ(insn.kind, FlowKind::kCall);
+    EXPECT_FALSE(insn.has_target);
+  }
+  {
+    const auto insn = decode({0xff, 0xe0});  // jmp rax
+    EXPECT_EQ(insn.length, 2U);
+    EXPECT_EQ(insn.kind, FlowKind::kJump);
+    EXPECT_FALSE(insn.has_target);
+  }
+  {
+    const auto insn = decode({0xff, 0x25, 0x00, 0x00, 0x00, 0x00});
+    EXPECT_EQ(insn.length, 6U);  // jmp [rip+0]
+    EXPECT_EQ(insn.kind, FlowKind::kJump);
+  }
+  {
+    const auto insn = decode({0xff, 0xc0});  // inc eax: plain data flow
+    EXPECT_EQ(insn.length, 2U);
+    EXPECT_EQ(insn.kind, FlowKind::kFallthrough);
+  }
+}
+
+TEST(X86Decode, ExactLengthsAcrossTheFallthroughSubset) {
+  const std::vector<std::pair<std::vector<std::uint8_t>, std::size_t>> cases = {
+      {{0x55}, 1},                                      // push rbp
+      {{0x48, 0x89, 0xe5}, 3},                          // mov rbp, rsp
+      {{0x85, 0xff}, 2},                                // test edi, edi
+      {{0x31, 0xc0}, 2},                                // xor eax, eax
+      {{0x90}, 1},                                      // nop
+      {{0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00}, 6},        // canonical nopw
+      {{0x0f, 0x05}, 2},                                // syscall
+      {{0xb8, 0x01, 0x00, 0x00, 0x00}, 5},              // mov eax, imm32
+      {{0x66, 0xb8, 0x01, 0x00}, 4},                    // mov ax, imm16
+      {{0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8}, 10},       // mov rax, imm64
+      {{0x8b, 0x45, 0x08}, 3},                          // mov eax, [rbp+8]
+      {{0x8b, 0x05, 0x00, 0x00, 0x00, 0x00}, 6},        // mov eax, [rip+0]
+      {{0x8b, 0x04, 0x25, 0x00, 0x00, 0x00, 0x00}, 7},  // SIB, no base
+      {{0x8b, 0x80, 0x00, 0x01, 0x00, 0x00}, 6},        // disp32
+      {{0x8d, 0x3d, 0x00, 0x00, 0x00, 0x00}, 6},        // lea rdi, [rip]
+      {{0x83, 0xc0, 0x01}, 3},                          // add eax, imm8
+      {{0x81, 0xc0, 0x44, 0x33, 0x22, 0x11}, 6},        // add eax, imm32
+      {{0x6a, 0x10}, 2},                                // push imm8
+      {{0x68, 0x10, 0x00, 0x00, 0x00}, 5},              // push imm32
+      {{0xc1, 0xe0, 0x02}, 3},                          // shl eax, 2
+      {{0xc7, 0x45, 0xfc, 0, 0, 0, 0}, 7},              // mov [rbp-4], imm32
+      {{0xf7, 0xc0, 0x01, 0x00, 0x00, 0x00}, 6},        // test eax, imm32
+      {{0xf7, 0xd8}, 2},                                // neg eax (no imm)
+      {{0xf6, 0xc0, 0x01}, 3},                          // test al, imm8
+      {{0x63, 0xd0}, 2},                                // movsxd rdx, eax
+      {{0x0f, 0xb6, 0xc0}, 3},                          // movzx eax, al
+      {{0x0f, 0xaf, 0xc2}, 3},                          // imul eax, edx
+      {{0x0f, 0x94, 0xc0}, 3},                          // sete al
+      {{0xc9}, 1},                                      // leave
+  };
+  for (const auto& [bytes, length] : cases) {
+    const auto insn = decode(bytes);
+    EXPECT_TRUE(insn.recognized) << "bytes[0]=" << int{bytes[0]};
+    EXPECT_EQ(insn.length, length) << "bytes[0]=" << int{bytes[0]};
+    EXPECT_EQ(insn.kind, FlowKind::kFallthrough);
+  }
+}
+
+TEST(X86Decode, UnknownAndTruncatedConsumeOneByte) {
+  const std::vector<std::vector<std::uint8_t>> cases = {
+      {0x06},                          // unassigned in 64-bit mode
+      {0x0f, 0xc7},                    // outside the decoded 0F subset
+      {0x0f},                          // truncated two-byte opcode
+      {0xe8, 0x00, 0x00},              // call with truncated rel32
+      {0x8b},                          // mov missing its ModRM
+      {0x8b, 0x45},                    // ModRM present, disp8 missing
+      {0x66, 0x48},                    // prefixes with no opcode
+      {0x66, 0x66, 0x66, 0x66, 0x66, 0x90},  // prefix overflow
+  };
+  for (const auto& bytes : cases) {
+    const auto insn = decode(bytes);
+    EXPECT_FALSE(insn.recognized) << "bytes[0]=" << int{bytes[0]};
+    EXPECT_EQ(insn.length, 1U);
+    EXPECT_EQ(insn.kind, FlowKind::kFallthrough);
+  }
+}
+
+cfg::Cfg extract_x86(const std::vector<std::uint8_t>& code,
+                     const FrontendOptions& options = {},
+                     std::uint64_t entry_offset = 0) {
+  loader::ElfWriteOptions elf_options;
+  elf_options.machine = loader::kElfMachineX8664;
+  elf_options.entry_offset = entry_offset;
+  const auto bytes = loader::write_elf(code, elf_options);
+  const auto image = loader::load_elf(bytes);
+  const X8664Frontend frontend;
+  EXPECT_TRUE(frontend.can_decode(image));
+  return frontend.extract(image, options);
+}
+
+TEST(X86Frontend, CommittedFixtureCfg) {
+#ifndef SOTERIA_LOADER_FIXTURE_DIR
+#error "SOTERIA_LOADER_FIXTURE_DIR must be defined"
+#endif
+  const std::string path =
+      std::string(SOTERIA_LOADER_FIXTURE_DIR) + "/x86_branch.elf64";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  const auto image = loader::load_elf(bytes);
+  const X8664Frontend frontend;
+  const auto cfg = frontend.extract(image);
+
+  // push; mov; test; je +8 | dec; call -15 | ret | xor; pop; ret
+  //   B0 = [0..3], B1 = [4,5], B2 = [6], B3 = [7..9]
+  ASSERT_EQ(cfg.node_count(), 4U);
+  EXPECT_EQ(cfg.entry(), 0U);
+  const std::vector<std::pair<graph::NodeId, graph::NodeId>> expected = {
+      {0, 3},  // je taken -> xor block
+      {0, 1},  // je fall-through -> dec block
+      {1, 0},  // call back to the function entry
+      {1, 2},  // call return path -> ret block
+  };
+  EXPECT_EQ(cfg.graph().edges(), expected);
+
+  ASSERT_EQ(cfg.blocks().size(), 4U);
+  EXPECT_EQ(cfg.blocks()[0].first_instruction, 0U);
+  EXPECT_EQ(cfg.blocks()[0].instruction_count, 4U);
+  EXPECT_EQ(cfg.blocks()[1].first_instruction, 4U);
+  EXPECT_EQ(cfg.blocks()[1].instruction_count, 2U);
+  EXPECT_EQ(cfg.blocks()[2].first_instruction, 6U);
+  EXPECT_EQ(cfg.blocks()[2].instruction_count, 1U);
+  EXPECT_EQ(cfg.blocks()[3].first_instruction, 7U);
+  EXPECT_EQ(cfg.blocks()[3].instruction_count, 3U);
+}
+
+TEST(X86Frontend, MidInstructionTargetGetsNoEdge) {
+  // je +1 lands inside the REX-prefixed ret at [2,4): conservative
+  // policy is no edge, leaving only the fall-through successor.
+  const std::vector<std::uint8_t> code = {0x74, 0x01, 0x48, 0xc3, 0xc3};
+  const auto cfg = extract_x86(code);
+  ASSERT_EQ(cfg.node_count(), 2U);
+  const std::vector<std::pair<graph::NodeId, graph::NodeId>> expected = {
+      {0, 1}};
+  EXPECT_EQ(cfg.graph().edges(), expected);
+
+  // Nudge the displacement to an instruction start and the edge
+  // appears: je +2 targets the final ret.
+  const std::vector<std::uint8_t> taken = {0x74, 0x02, 0x48, 0xc3, 0xc3};
+  const auto taken_cfg = extract_x86(taken);
+  ASSERT_EQ(taken_cfg.node_count(), 3U);
+  const std::vector<std::pair<graph::NodeId, graph::NodeId>> taken_expected = {
+      {0, 2}, {0, 1}};
+  EXPECT_EQ(taken_cfg.graph().edges(), taken_expected);
+}
+
+TEST(X86Frontend, OutOfRangeTargetGetsNoEdge) {
+  const std::vector<std::uint8_t> code = {0xeb, 0x7f, 0xc3};  // jmp +127
+  const auto cfg = extract_x86(code);
+  EXPECT_EQ(cfg.node_count(), 1U);
+  EXPECT_EQ(cfg.edge_count(), 0U);
+}
+
+TEST(X86Frontend, SelfLoop) {
+  const std::vector<std::uint8_t> code = {0xeb, 0xfe};  // jmp $
+  const auto cfg = extract_x86(code);
+  ASSERT_EQ(cfg.node_count(), 1U);
+  const std::vector<std::pair<graph::NodeId, graph::NodeId>> expected = {
+      {0, 0}};
+  EXPECT_EQ(cfg.graph().edges(), expected);
+}
+
+TEST(X86Frontend, MidInstructionEntryFallsBackToZero) {
+  // e_entry points one byte into the mov: the sweep starts at offset 0.
+  const std::vector<std::uint8_t> code = {0x48, 0x89, 0xe5, 0xc3};
+  const auto cfg = extract_x86(code, {}, /*entry_offset=*/1);
+  ASSERT_TRUE(cfg.has_block_metadata());
+  EXPECT_EQ(cfg.blocks()[cfg.entry()].first_instruction, 0U);
+}
+
+TEST(X86Frontend, UnknownBytesSweepConservatively) {
+  // Garbage never throws and never invents control flow: a stream of
+  // unknown opcodes is one straight-line block into the ret.
+  const std::vector<std::uint8_t> code = {0x06, 0x07, 0x0e, 0x16, 0xc3};
+  const auto cfg = extract_x86(code);
+  EXPECT_EQ(cfg.node_count(), 1U);
+  EXPECT_EQ(cfg.edge_count(), 0U);
+  ASSERT_TRUE(cfg.has_block_metadata());
+  EXPECT_EQ(cfg.blocks()[0].instruction_count, 5U);
+}
+
+TEST(X86Frontend, GuardsAreTypedErrors) {
+  const X8664Frontend frontend;
+  {
+    loader::Image image;  // ELF-tagged but empty code region
+    image.format = loader::Format::kElf;
+    image.machine = loader::kElfMachineX8664;
+    try {
+      (void)frontend.extract(image);
+      FAIL() << "empty code region";
+    } catch (const core::Error& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+    }
+  }
+  {
+    FrontendOptions small;
+    small.max_image_bytes = 2;
+    try {
+      (void)extract_x86({0x90, 0x90, 0x90, 0xc3}, small);
+      FAIL() << "max_image_bytes";
+    } catch (const core::Error& e) {
+      EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soteria::frontend
