@@ -1,0 +1,196 @@
+// perf_attack — throughput of the attack framework plus a determinism
+// audit of the robustness matrix (custom main; the attackers and the
+// matrix runner are the harness).
+//
+// Two sweeps on a tiny fitted system:
+//
+//   * AE generation throughput: AEs/second and oracle queries per AE
+//     for every registered attacker over the malware test victims;
+//     every binary-level AE is executed in the toy VM and must
+//     terminate exactly like its victim (status + syscall trace
+//     fingerprint), so the numbers only count *practical* AEs.
+//   * A small attack x defense matrix run at 1, 2, and 4 threads with
+//     a fixed seed; the three reports must be byte-identical, and a
+//     re-run at one thread must reproduce the first run exactly.
+//
+// Results go to stdout, bench_results/perf_attack.txt, and the
+// "perf_attack" section of the repo-root BENCH_perf.json. Exit is
+// non-zero if any AE breaks its victim's execution or the matrix
+// determinism contract is violated. Scale/seed follow the other
+// benches' SOTERIA_SCALE / SOTERIA_SEED env vars.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/registry.h"
+#include "common/perf_json.h"
+#include "dataset/generator.h"
+#include "eval/matrix.h"
+#include "isa/vm.h"
+#include "math/rng.h"
+#include "soteria/presets.h"
+#include "soteria/system.h"
+
+namespace soteria {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int run() {
+  const char* scale_env = std::getenv("SOTERIA_SCALE");
+  const char* seed_env = std::getenv("SOTERIA_SEED");
+  const double scale = scale_env ? std::strtod(scale_env, nullptr) : 0.008;
+  const std::uint64_t seed =
+      seed_env ? std::strtoull(seed_env, nullptr, 10) : 42;
+
+  dataset::DatasetConfig data_config;
+  data_config.scale = scale;
+  math::Rng rng(seed);
+  const auto data = dataset::generate_dataset(data_config, rng);
+  const auto config = core::tiny_config();
+  const auto model = core::SoteriaSystem::train(data.train, config);
+
+  std::vector<const dataset::Sample*> victims;
+  for (const auto& sample : data.test) {
+    if (sample.family != dataset::Family::kBenign &&
+        !sample.binary.empty()) {
+      victims.push_back(&sample);
+    }
+  }
+  std::printf("perf_attack: %zu malware victims, scale %.3f, seed %llu\n",
+              victims.size(), scale,
+              static_cast<unsigned long long>(seed));
+
+  std::string report =
+      "attacker  aes  aes_per_s  queries_per_ae  broken\n";
+  std::map<std::string, double> json_values;
+  bool all_practical = true;
+
+  for (const auto name : attack::attacker_names()) {
+    const auto attacker =
+        attack::make_attacker(name, "target=benign", &model);
+    const math::Rng root(seed ^ 0x5eed);
+    std::size_t generated = 0;
+    std::size_t queries = 0;
+    std::size_t broken = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      math::Rng generate_rng = root.child(i);
+      const auto result =
+          attacker->generate(*victims[i], data.train, generate_rng);
+      ++generated;
+      queries += result.queries;
+      if (!result.binary.empty()) {
+        const auto before = isa::execute(victims[i]->binary);
+        const auto after = isa::execute(result.binary);
+        const bool practical = after.status == before.status &&
+                               after.syscalls == before.syscalls &&
+                               after.max_call_depth ==
+                                   before.max_call_depth;
+        broken += !practical;
+      }
+    }
+    const double elapsed_ms = ms_since(start);
+    all_practical = all_practical && broken == 0;
+
+    const double aes_per_s =
+        elapsed_ms > 0.0 ? 1000.0 * static_cast<double>(generated) /
+                               elapsed_ms
+                         : 0.0;
+    const double queries_per_ae =
+        generated > 0 ? static_cast<double>(queries) /
+                            static_cast<double>(generated)
+                      : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-8s  %3zu  %9.1f  %14.1f  %zu%s\n",
+                  std::string(name).c_str(), generated, aes_per_s,
+                  queries_per_ae, broken,
+                  broken == 0 ? "" : "  EXECUTION-BROKEN");
+    report += line;
+    std::printf("%s", line);
+
+    const std::string key(name);
+    json_values[key + "_aes_per_s"] = aes_per_s;
+    json_values[key + "_queries_per_ae"] = queries_per_ae;
+  }
+
+  // Small matrix: determinism audit across thread counts and re-runs.
+  const std::vector<eval::AttackSpec> attacks = {
+      {"gea", "gea", "target=benign,size=small"},
+      {"adaptive", "adaptive", "target=benign,candidates=2"},
+  };
+  const std::vector<eval::DefenseSpec> defenses = {
+      {"alpha=2", 2.0},
+      {"alpha=4", 4.0},
+  };
+  std::vector<dataset::Sample> matrix_victims;
+  for (const dataset::Sample* v : victims) {
+    matrix_victims.push_back(*v);
+  }
+  eval::MatrixOptions options;
+  options.seed = seed;
+  options.victims_per_cell = 4;
+
+  bool deterministic = true;
+  std::string baseline;
+  double matrix_ms_1t = 0.0;
+  for (const std::size_t threads : {1U, 1U, 2U, 4U}) {
+    options.num_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const auto matrix =
+        eval::run_matrix(model, matrix_victims, data.train, attacks,
+                         defenses, options);
+    const double elapsed = ms_since(start);
+    const std::string json = matrix.to_json();
+    if (baseline.empty()) {
+      baseline = json;
+      matrix_ms_1t = elapsed;
+    } else {
+      deterministic = deterministic && json == baseline;
+    }
+    char line[96];
+    std::snprintf(line, sizeof(line), "matrix t=%zu  %7.1f ms%s\n",
+                  threads, elapsed,
+                  json == baseline ? "" : "  DETERMINISM-VIOLATION");
+    report += line;
+    std::printf("%s", line);
+  }
+  json_values["matrix_ms_1t"] = matrix_ms_1t;
+  json_values["matrix_deterministic"] = deterministic ? 1.0 : 0.0;
+  json_values["all_practical"] = all_practical ? 1.0 : 0.0;
+
+  char check[96];
+  std::snprintf(check, sizeof(check),
+                "practical=%s  matrix_deterministic=%s\n",
+                all_practical ? "yes" : "NO",
+                deterministic ? "yes" : "NO");
+  report += check;
+  std::printf("%s", check);
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/perf_attack.txt");
+  if (out) {
+    out << report;
+    std::printf("sweep written to bench_results/perf_attack.txt\n");
+  }
+  if (bench::update_perf_json("BENCH_perf.json", "perf_attack",
+                              json_values)) {
+    std::printf("sweep recorded in BENCH_perf.json\n");
+  }
+  return all_practical && deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace soteria
+
+int main() { return soteria::run(); }

@@ -6,9 +6,17 @@
 //   soteria_cli analyze <model-path> [seed]
 //       Load a model, draw a fresh test corpus, analyze every sample
 //       and print the verdict summary.
-//   soteria_cli attack <model-path> [seed]
-//       Load a model, mount binary-level GEA attacks, verify the AEs
-//       execute (VM), and report how many the detector catches.
+//   soteria_cli attack <model-path> [seed] [--attack gea|score|adaptive]
+//                      [--params k=v,...]
+//       Load a model, mount attacks from the attacker registry against
+//       it, verify the AEs execute (VM), and report how many the
+//       detector catches and what they cost in oracle queries.
+//   soteria_cli eval-matrix <model-path> [seed] [--threads N]
+//                      [--victims N] [--out <json-path>]
+//       Run the attack x defense robustness matrix: per-cell detection
+//       / evasion / family-flip rates and query counts, as a text table
+//       plus versioned JSON (bit-identical for a fixed seed at any
+//       --threads setting).
 //   soteria_cli corpus <dir> [scale] [seed]
 //       Write a fresh test corpus as raw firmware binaries into <dir>
 //       and print one path per line (pipe into `serve`).
@@ -41,10 +49,12 @@
 #include <span>
 #include <string>
 
-#include "attack/binary_gea.h"
+#include "attack/attacker.h"
+#include "attack/registry.h"
 #include "cfg/extractor.h"
 #include "dataset/adversarial.h"
 #include "dataset/generator.h"
+#include "eval/matrix.h"
 #include "eval/metrics.h"
 #include "frontend/frontend.h"
 #include "isa/vm.h"
@@ -77,7 +87,12 @@ int usage() {
                "usage: soteria_cli train   <model-path> [scale] [seed]\n"
                "       soteria_cli analyze <model-path> [seed]"
                " [--store <dir>] [--format auto|toy|elf] [--arch <name>]\n"
-               "       soteria_cli attack  <model-path> [seed]\n"
+               "       soteria_cli attack  <model-path> [seed]"
+               " [--attack gea|score|adaptive] [--params k=v,...]"
+               " [--data-scale S] [--data-seed N]\n"
+               "       soteria_cli eval-matrix <model-path> [seed]"
+               " [--threads N] [--victims N] [--out <json-path>]"
+               " [--data-scale S] [--data-seed N]\n"
                "       soteria_cli corpus  <dir> [scale] [seed]"
                " [--format toy|elf]\n"
 #ifdef SOTERIA_HAVE_SERVE
@@ -214,56 +229,108 @@ int cmd_analyze(const char* path, std::uint64_t seed,
   return 0;
 }
 
-int cmd_attack(const char* path, std::uint64_t seed) {
+int cmd_attack(const char* path, std::uint64_t seed, double data_scale,
+               std::uint64_t data_seed, const std::string& attack_name,
+               const std::string& attack_params) {
   const auto system = core::SoteriaSystem::load_file(path);
-  const auto data = make_corpus(0.01, seed + 2);
-  math::Rng rng(seed ^ 0x47ac);
+  // The victims must come from the distribution the model was fitted
+  // on (same scale/seed as `train`): against shifted data the detector
+  // flags even clean samples, and every attack drowns in that noise.
+  const auto data = make_corpus(data_scale, data_seed);
+  const auto attacker =
+      attack::make_attacker(attack_name, attack_params, &system);
+  const math::Rng rng(seed ^ 0x47ac);
 
-  const auto targets = dataset::select_all_targets(data.train);
   std::size_t attacks = 0;
   std::size_t executable = 0;
   std::size_t detected = 0;
-  for (std::size_t i = 0; i < std::min<std::size_t>(data.test.size(), 24);
-       ++i) {
+  std::size_t flipped = 0;
+  std::size_t queries = 0;
+  const std::size_t limit = std::min<std::size_t>(data.test.size(), 24);
+  for (std::size_t i = 0; i < limit; ++i) {
     const auto& victim = data.test[i];
-    for (const auto& target_size :
-         {dataset::TargetSize::kSmall, dataset::TargetSize::kLarge}) {
-      const auto target_family =
-          victim.family == dataset::Family::kBenign
-              ? dataset::Family::kGafgyt
-              : dataset::Family::kBenign;
-      const auto& target =
-          targets[dataset::family_index(target_family) *
-                      dataset::kTargetSizeCount +
-                  static_cast<std::size_t>(target_size)];
-
-      // Binary-level GEA: the AE is an actual runnable image.
-      const auto target_sample = [&]() -> const dataset::Sample* {
-        for (const auto& s : data.train) {
-          if (s.family == target_family &&
-              s.cfg.node_count() == target.node_count) {
-            return &s;
-          }
-        }
-        return nullptr;
-      }();
-      if (target_sample == nullptr) continue;
-      const auto combined =
-          attack::binary_gea(victim.binary, target_sample->binary);
-      ++attacks;
-      executable +=
-          isa::execute(combined.image).status == isa::VmStatus::kHalted;
-      const auto verdict =
-          system.analyze(cfg::extract(combined.image), rng);
-      detected += verdict.adversarial;
+    math::Rng generate_rng = rng.child(2 * i);
+    attack::AttackResult result;
+    try {
+      result = attacker->generate(victim, data.train, generate_rng);
+    } catch (const core::Error& e) {
+      std::fprintf(stderr, "attack on sample %zu failed: %s\n", i,
+                   e.what());
+      continue;
     }
+    if (victim.family == result.target_family) continue;
+    ++attacks;
+    queries += result.queries;
+    if (!result.binary.empty()) {
+      executable += isa::execute(result.binary).status ==
+                    isa::VmStatus::kHalted;
+    }
+    math::Rng analyze_rng = rng.child(2 * i + 1);
+    const auto verdict = system.analyze(result.cfg, analyze_rng);
+    detected += verdict.adversarial;
+    flipped += verdict.predicted != victim.family;
   }
-  std::printf("binary-level GEA attacks mounted: %zu\n", attacks);
+  std::printf("%s attacks mounted (params \"%s\"): %zu\n",
+              std::string(attacker->name()).c_str(),
+              attacker->params().c_str(), attacks);
   std::printf("  executable (practical AEs):     %zu\n", executable);
   std::printf("  caught by the detector:         %zu (%.1f%%)\n", detected,
               attacks ? 100.0 * static_cast<double>(detected) /
                             static_cast<double>(attacks)
                       : 0.0);
+  std::printf("  family flipped:                 %zu\n", flipped);
+  std::printf("  oracle queries spent:           %zu\n", queries);
+  return 0;
+}
+
+int cmd_eval_matrix(const char* path, std::uint64_t seed,
+                    double data_scale, std::uint64_t data_seed,
+                    std::size_t threads, std::size_t victims,
+                    const std::string& out_path) {
+  const auto system = core::SoteriaSystem::load_file(path);
+  // Same-distribution victims/corpus as `train` (see cmd_attack).
+  const auto data = make_corpus(data_scale, data_seed);
+
+  // The default grid: the plain-GEA baselines against the guided
+  // strategies, at the calibrated operating point and a looser one.
+  const std::vector<eval::AttackSpec> attacks = {
+      {"gea-small", "gea", "target=benign,size=small"},
+      {"gea-large", "gea", "target=benign,size=large"},
+      {"gea-multi", "gea", "target=benign,injections=2"},
+      {"score", "score", "target=benign,candidates=4"},
+      {"adaptive", "adaptive", "target=benign,candidates=4"},
+  };
+  const double alpha = system.detector().alpha();
+  const auto alpha_label = [](double a) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "alpha=%.2f", a);
+    return std::string(buffer);
+  };
+  const std::vector<eval::DefenseSpec> defenses = {
+      {alpha_label(alpha), alpha},
+      {alpha_label(alpha * 2.0), alpha * 2.0},
+  };
+
+  eval::MatrixOptions options;
+  options.seed = seed;
+  options.num_threads = threads;
+  options.victims_per_cell = victims == 0 ? 6 : victims;
+  const auto report = eval::run_matrix(system, data.test, data.train,
+                                       attacks, defenses, options);
+
+  std::fputs(report.to_text().c_str(), stdout);
+  const std::string json = report.to_json();
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      throw core::Error(core::ErrorCode::kIoError,
+                        "eval-matrix: cannot open " + out_path);
+    }
+    out << json << '\n';
+    std::fprintf(stderr, "matrix JSON written to %s\n", out_path.c_str());
+  }
   return 0;
 }
 
@@ -626,12 +693,20 @@ int dispatch(int argc, char** argv) {
           argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
       return cmd_store(argv[2], argv[3], capacity);
     }
-    // Positional [seed] optionally followed by --store / --format /
-    // --arch flags.
+    // Positional [seed] optionally followed by flags (--store/--format/
+    // --arch for analyze, --attack/--params for attack, --threads/
+    // --victims/--out for eval-matrix).
     std::uint64_t seed = 42;
     std::string store_dir;
     std::string format;
     std::string arch;
+    std::string attack_name = "gea";
+    std::string attack_params;
+    std::string out_path;
+    std::size_t threads = 1;
+    std::size_t victims = 0;
+    double data_scale = 0.02;
+    std::uint64_t data_seed = 42;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--store") == 0) {
         if (i + 1 >= argc) return usage();
@@ -642,6 +717,27 @@ int dispatch(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--arch") == 0) {
         if (i + 1 >= argc) return usage();
         arch = argv[++i];
+      } else if (std::strcmp(argv[i], "--attack") == 0) {
+        if (i + 1 >= argc) return usage();
+        attack_name = argv[++i];
+      } else if (std::strcmp(argv[i], "--params") == 0) {
+        if (i + 1 >= argc) return usage();
+        attack_params = argv[++i];
+      } else if (std::strcmp(argv[i], "--out") == 0) {
+        if (i + 1 >= argc) return usage();
+        out_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--threads") == 0) {
+        if (i + 1 >= argc) return usage();
+        threads = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--victims") == 0) {
+        if (i + 1 >= argc) return usage();
+        victims = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--data-scale") == 0) {
+        if (i + 1 >= argc) return usage();
+        data_scale = std::strtod(argv[++i], nullptr);
+      } else if (std::strcmp(argv[i], "--data-seed") == 0) {
+        if (i + 1 >= argc) return usage();
+        data_seed = std::strtoull(argv[++i], nullptr, 10);
       } else {
         seed = std::strtoull(argv[i], nullptr, 10);
       }
@@ -649,7 +745,14 @@ int dispatch(int argc, char** argv) {
     if (std::strcmp(command, "analyze") == 0) {
       return cmd_analyze(path, seed, store_dir, format, arch);
     }
-    if (std::strcmp(command, "attack") == 0) return cmd_attack(path, seed);
+    if (std::strcmp(command, "attack") == 0) {
+      return cmd_attack(path, seed, data_scale, data_seed, attack_name,
+                        attack_params);
+    }
+    if (std::strcmp(command, "eval-matrix") == 0) {
+      return cmd_eval_matrix(path, seed, data_scale, data_seed, threads,
+                             victims, out_path);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

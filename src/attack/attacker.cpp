@@ -1,0 +1,19 @@
+#include "attack/attacker.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace soteria::attack {
+
+AttackResult Attacker::generate(const dataset::Sample& sample,
+                                std::span<const dataset::Sample> corpus,
+                                math::Rng& rng) const {
+  const obs::Span span("attack.generate");
+  AttackResult result = do_generate(sample, corpus, rng);
+  result.original_family = sample.family;
+  // attack.queries is counted at the oracle, one tick per query.
+  obs::registry().counter_add("attack.generated");
+  return result;
+}
+
+}  // namespace soteria::attack

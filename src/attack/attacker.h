@@ -1,0 +1,73 @@
+// Common interface of the attack framework.
+//
+// Every attack strategy — the parameterized GEA of the source paper,
+// the score-guided gray-box variant, the detector-aware adaptive
+// variant — is an `Attacker`: given a victim sample and a corpus to
+// draw injection targets from, it produces one adversarial example.
+// The base class owns the cross-cutting concerns (observability spans
+// and counters, result bookkeeping) so strategies only implement
+// do_generate(). Attackers are stateless between calls and safe to
+// share across threads as long as each call gets its own Rng — the
+// property the eval matrix relies on to parallelize over cells.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "dataset/sample.h"
+#include "math/rng.h"
+
+namespace soteria::attack {
+
+/// One generated adversarial example.
+struct AttackResult {
+  /// The AE's CFG — always populated; what the defense analyzes.
+  cfg::Cfg cfg;
+  /// The AE's runnable image. Populated whenever the victim (and the
+  /// chosen injection targets) carry binaries, in which case `cfg` is
+  /// re-extracted from these bytes so graph and code never diverge.
+  /// Empty for graph-level-only attacks.
+  std::vector<std::uint8_t> binary;
+  dataset::Family original_family = dataset::Family::kBenign;
+  dataset::Family target_family = dataset::Family::kBenign;
+  /// Oracle queries this AE cost (0 for query-free attacks).
+  std::size_t queries = 0;
+  /// Human-readable description of the concrete choice made
+  /// (e.g. "target id=17 insert=mid@4").
+  std::string detail;
+};
+
+/// Abstract attack strategy. Implementations must be const-callable
+/// and thread-compatible: generate() may run concurrently from many
+/// threads provided each call owns its Rng.
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+
+  /// Registry name ("gea", "score", "adaptive").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// The configured parameters, rendered "key=value,key=value" — the
+  /// same syntax make_attacker parses.
+  [[nodiscard]] virtual std::string params() const = 0;
+
+  /// Generates one AE for `sample`, drawing injection material from
+  /// `corpus` and all randomness from `rng`. Instruments the call
+  /// (t/attack.generate span, attack.generated counter) around the
+  /// strategy's do_generate. Throws core::Error{kInvalidArgument} when
+  /// the corpus cannot supply the configured target family.
+  [[nodiscard]] AttackResult generate(
+      const dataset::Sample& sample,
+      std::span<const dataset::Sample> corpus, math::Rng& rng) const;
+
+ protected:
+  [[nodiscard]] virtual AttackResult do_generate(
+      const dataset::Sample& sample,
+      std::span<const dataset::Sample> corpus, math::Rng& rng) const = 0;
+};
+
+}  // namespace soteria::attack

@@ -9,6 +9,20 @@
 //   graphs), this produces an actual runnable image whose *extracted*
 //   CFG has the shared-entry/shared-exit GEA shape.
 //
+//   The attack is parameterized across the spectrum of the GEA source
+//   paper and the explainability-guided follow-up:
+//     - binary_gea_multi injects several targets behind a guard chain
+//       (one never-taken conditional branch per target);
+//     - binary_gea_at plants the guard at an interior instruction
+//       boundary, relocating every control-flow immediate that crosses
+//       the insertion point so the original still executes bit-for-bit;
+//       safe_guard_points enumerates the boundaries where a guard is
+//       semantically transparent, together with a register whose
+//       clobbering is provably invisible there (never written in the
+//       image, or locally dead) — deep boundaries matter because the
+//       further from the entry the lobe attaches, the less the labeling
+//       ranks and walk statistics move.
+//
 // * append_attack: the binary-level *impractical* AE — benign bytes
 //   appended past the halt. It changes byte-level representations
 //   (e.g. the image baseline's input) while being invisible to CFG
@@ -26,9 +40,18 @@ namespace soteria::attack {
 /// Result of a binary-level GEA combination.
 struct BinaryGeaResult {
   std::vector<std::uint8_t> image;  ///< runnable combined binary
-  std::size_t guard_instructions = 0;   ///< prologue size (instructions)
+  std::size_t guard_instructions = 0;   ///< guard size (instructions)
+  std::size_t guard_index = 0;          ///< instruction index of the guard
   std::size_t original_offset = 0;      ///< instruction index of original
   std::size_t target_offset = 0;        ///< instruction index of target
+};
+
+/// Result of a multi-injection combination.
+struct MultiBinaryGeaResult {
+  std::vector<std::uint8_t> image;      ///< runnable combined binary
+  std::size_t guard_instructions = 0;   ///< prologue size (3 per target)
+  std::size_t original_offset = 0;      ///< instruction index of original
+  std::vector<std::size_t> target_offsets;  ///< one per injected target
 };
 
 /// Combines `original` with `target` at the code level. Control flow:
@@ -36,11 +59,62 @@ struct BinaryGeaResult {
 /// conditionally jumps into the (relocated) target; fall-through enters
 /// the (relocated) original. Each program's halts are preserved, so
 /// whichever side runs terminates the process exactly like the original
-/// did. Throws std::invalid_argument for empty or ragged images and
-/// std::out_of_range if the combined image exceeds branch reach.
+/// did. Throws core::Error{kInvalidArgument} for empty or ragged images
+/// and core::Error{kOutOfRange} if the combined image exceeds branch
+/// reach.
 [[nodiscard]] BinaryGeaResult binary_gea(
     std::span<const std::uint8_t> original,
     std::span<const std::uint8_t> target);
+
+/// Plants the guard at instruction boundary `insert_instruction` of
+/// `original` (0 = entry, reproducing binary_gea's prologue placement)
+/// instead of the entry. Every control-flow immediate of the original
+/// whose source or target crosses the boundary is relocated, and
+/// branches *to* the boundary enter the (transparent) guard first, so
+/// the original's execution is preserved whenever the boundary is safe
+/// (see safe_guard_points, which also chooses `guard_register`). The
+/// injected target is appended past the original's end. Throws
+/// core::Error{kInvalidArgument} for empty or ragged images or an
+/// invalid register and core::Error{kOutOfRange} for a boundary at or
+/// past the original's end or a relocation that exceeds branch reach.
+[[nodiscard]] BinaryGeaResult binary_gea_at(
+    std::span<const std::uint8_t> original,
+    std::span<const std::uint8_t> target, std::size_t insert_instruction,
+    std::uint8_t guard_register = 15);
+
+/// Injects every image of `targets` behind a guard chain at the entry:
+/// guard i's never-taken branch jumps into target i, and fall-through
+/// reaches guard i+1 (finally the original). Throws
+/// core::Error{kInvalidArgument} for empty/ragged inputs or an empty
+/// target list and core::Error{kOutOfRange} when any branch exceeds
+/// reach.
+[[nodiscard]] MultiBinaryGeaResult binary_gea_multi(
+    std::span<const std::uint8_t> original,
+    std::span<const std::vector<std::uint8_t>> targets);
+
+/// A provably transparent interior guard placement: the instruction
+/// boundary plus the register the guard may clobber there.
+struct GuardPoint {
+  std::size_t boundary = 0;        ///< instruction index (see binary_gea_at)
+  std::uint8_t guard_register = 0; ///< register the guard writes
+};
+
+/// Interior instruction boundaries of `image` where a guard insertion
+/// is semantically transparent, each paired with a usable guard
+/// register. A boundary qualifies when (1) the preceding instruction
+/// falls through into it, (2) the comparison flags are dead (the
+/// fall-through path reaches a fresh cmp or a halt before any branch
+/// that could read them), and (3) some register's clobbering is
+/// invisible — it is never written anywhere in the image (so it always
+/// holds the VM's initial 0, which is exactly what the guard writes),
+/// or the straight-line code after the boundary writes it before any
+/// read, call, branch, or syscall (flows that enter the window from a
+/// branch target never passed the guard, so they are unaffected).
+/// Boundary 0 (the entry) is always safe and not listed; points are in
+/// ascending boundary order. Throws core::Error{kInvalidArgument} for
+/// an empty or ragged image.
+[[nodiscard]] std::vector<GuardPoint> safe_guard_points(
+    std::span<const std::uint8_t> image);
 
 /// Appends `byte_count` benign-looking filler instructions after the
 /// image's end (never reachable). Changes the byte stream, not the CFG.

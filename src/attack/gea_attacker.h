@@ -1,0 +1,55 @@
+// Parameterized GEA attacker (paper Section IV-A, generalized).
+//
+// The query-free baseline: embed a target-family sample into the
+// victim per GEA. Parameterized over everything the source attack
+// fixed — target family, target size bucket, insertion-point strategy
+// (entry guard, mid-block, multi-injection) — and realized at the
+// binary level whenever the victim and targets carry binaries, so the
+// produced AE is an executable whose extracted CFG has the GEA shape.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "attack/attacker.h"
+#include "cfg/gea.h"
+#include "dataset/adversarial.h"
+
+namespace soteria::attack {
+
+/// Parameters of the GEA attacker.
+struct GeaAttackerOptions {
+  dataset::Family target_family = dataset::Family::kBenign;
+  dataset::TargetSize target_size = dataset::TargetSize::kSmall;
+  cfg::InsertionPoint insertion = cfg::InsertionPoint::kEntryGuard;
+  /// Number of injected targets. 1 reproduces classic GEA; above 1 the
+  /// attack builds a guard chain over `injections` targets drawn from
+  /// consecutive size buckets starting at `target_size` (kMidBlock
+  /// applies to single injections only and is ignored otherwise).
+  std::size_t injections = 1;
+};
+
+class GeaAttacker final : public Attacker {
+ public:
+  explicit GeaAttacker(const GeaAttackerOptions& options)
+      : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "gea";
+  }
+  [[nodiscard]] std::string params() const override;
+  [[nodiscard]] const GeaAttackerOptions& options() const noexcept {
+    return options_;
+  }
+
+ protected:
+  [[nodiscard]] AttackResult do_generate(
+      const dataset::Sample& sample,
+      std::span<const dataset::Sample> corpus,
+      math::Rng& rng) const override;
+
+ private:
+  GeaAttackerOptions options_;
+};
+
+}  // namespace soteria::attack

@@ -1,8 +1,9 @@
 #include "attack/obfuscation.h"
 
-#include <stdexcept>
+#include <string>
 
 #include "isa/isa.h"
+#include "soteria/error.h"
 
 namespace soteria::attack {
 
@@ -14,8 +15,8 @@ constexpr std::uint8_t kInvalidOpcode = 0xEE;  // decodes as data
 
 void require_image(std::span<const std::uint8_t> image, const char* what) {
   if (image.empty() || image.size() % isa::kInstructionSize != 0) {
-    throw std::invalid_argument(std::string(what) +
-                                ": empty or ragged image");
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      std::string(what) + ": empty or ragged image");
   }
 }
 
@@ -63,8 +64,8 @@ std::vector<std::uint8_t> indirect_branches(
     std::span<const std::uint8_t> image, double fraction, math::Rng& rng) {
   require_image(image, "indirect_branches");
   if (fraction < 0.0 || fraction > 1.0) {
-    throw std::invalid_argument(
-        "indirect_branches: fraction outside [0, 1]");
+    throw core::Error(core::ErrorCode::kInvalidArgument,
+                      "indirect_branches: fraction outside [0, 1]");
   }
   std::vector<std::uint8_t> out(image.begin(), image.end());
   for (std::size_t off = 0; off < out.size();

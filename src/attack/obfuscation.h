@@ -25,7 +25,7 @@ namespace soteria::attack {
 /// The junk op is unreachable at runtime (r14 is never the sentinel) —
 /// wait: jnz with a non-equal compare *always* branches, so execution
 /// skips the junk, while the CFG gains a diamond per predicate.
-/// Throws std::invalid_argument on an empty/ragged image.
+/// Throws core::Error{kInvalidArgument} on an empty/ragged image.
 [[nodiscard]] std::vector<std::uint8_t> opaque_predicates(
     std::span<const std::uint8_t> image, std::size_t count,
     math::Rng& rng);

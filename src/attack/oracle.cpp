@@ -1,0 +1,19 @@
+#include "attack/oracle.h"
+
+#include "obs/metrics.h"
+
+namespace soteria::attack {
+
+core::FeatureScores QueryOracle::score(const cfg::Cfg& cfg,
+                                       const math::Rng& fresh_rng) {
+  ++queries_;
+  obs::registry().counter_add("attack.queries");
+  math::Rng rng = fresh_rng;
+  return system_->score_features(system_->extract(cfg, rng));
+}
+
+double QueryOracle::threshold() const noexcept {
+  return system_->detector().threshold();
+}
+
+}  // namespace soteria::attack

@@ -1,0 +1,49 @@
+// Query oracle: the attacker's (counted) window into the defense.
+//
+// Gray-box attackers in the paper's threat model can submit a sample
+// and observe the system's response. QueryOracle wraps a fitted
+// SoteriaSystem behind exactly that surface — score one CFG, get the
+// detector score / threshold / vote tally back — while counting every
+// query, so the robustness matrix can report attack cost and so rate-
+// limited defenses can be reasoned about later. Each query extracts
+// features with a caller-supplied *fresh* generator, which keeps a
+// fixed (cfg, rng) query bit-deterministic.
+#pragma once
+
+#include <cstddef>
+
+#include "cfg/cfg.h"
+#include "math/rng.h"
+#include "soteria/system.h"
+
+namespace soteria::attack {
+
+class QueryOracle {
+ public:
+  /// `system` must outlive the oracle.
+  explicit QueryOracle(const core::SoteriaSystem& system) noexcept
+      : system_(&system) {}
+
+  /// Scores `cfg` through the full pipeline (fresh walks drawn from a
+  /// copy of `fresh_rng`; the caller's generator is never advanced).
+  /// Counts one query (and one `attack.queries` tick).
+  [[nodiscard]] core::FeatureScores score(const cfg::Cfg& cfg,
+                                          const math::Rng& fresh_rng);
+
+  /// The fitted detector threshold (free: fixed model metadata, not a
+  /// query in the threat model).
+  [[nodiscard]] double threshold() const noexcept;
+
+  /// Queries issued through this oracle so far.
+  [[nodiscard]] std::size_t queries() const noexcept { return queries_; }
+
+  [[nodiscard]] const core::SoteriaSystem& system() const noexcept {
+    return *system_;
+  }
+
+ private:
+  const core::SoteriaSystem* system_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace soteria::attack

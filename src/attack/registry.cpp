@@ -1,0 +1,136 @@
+#include "attack/registry.h"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/gea_attacker.h"
+#include "attack/guided.h"
+#include "soteria/error.h"
+
+namespace soteria::attack {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw core::Error(core::ErrorCode::kInvalidArgument,
+                    "make_attacker: " + message);
+}
+
+/// Splits "k1=v1,k2=v2" into pairs. Empty input yields no pairs.
+std::vector<std::pair<std::string_view, std::string_view>> parse_params(
+    std::string_view params) {
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  while (!params.empty()) {
+    const std::size_t comma = params.find(',');
+    const std::string_view item = params.substr(0, comma);
+    params = comma == std::string_view::npos
+                 ? std::string_view{}
+                 : params.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      bad("malformed param '" + std::string(item) +
+          "' (expected key=value)");
+    }
+    pairs.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return pairs;
+}
+
+dataset::Family parse_family(std::string_view value) {
+  for (dataset::Family f : dataset::all_families()) {
+    std::string name = dataset::family_name(f);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    if (value == name) return f;
+  }
+  bad("unknown family '" + std::string(value) + "'");
+}
+
+dataset::TargetSize parse_size(std::string_view value) {
+  if (value == "small") return dataset::TargetSize::kSmall;
+  if (value == "medium") return dataset::TargetSize::kMedium;
+  if (value == "large") return dataset::TargetSize::kLarge;
+  bad("unknown size '" + std::string(value) + "'");
+}
+
+cfg::InsertionPoint parse_insert(std::string_view value) {
+  if (value == "entry") return cfg::InsertionPoint::kEntryGuard;
+  if (value == "mid") return cfg::InsertionPoint::kMidBlock;
+  bad("unknown insertion point '" + std::string(value) + "'");
+}
+
+std::size_t parse_count(std::string_view key, std::string_view value) {
+  std::size_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad("param " + std::string(key) + "='" + std::string(value) +
+        "' is not a count");
+  }
+  return out;
+}
+
+std::unique_ptr<Attacker> make_gea(std::string_view params) {
+  GeaAttackerOptions options;
+  for (const auto& [key, value] : parse_params(params)) {
+    if (key == "target") {
+      options.target_family = parse_family(value);
+    } else if (key == "size") {
+      options.target_size = parse_size(value);
+    } else if (key == "insert") {
+      options.insertion = parse_insert(value);
+    } else if (key == "injections") {
+      options.injections = parse_count(key, value);
+    } else {
+      bad("unknown gea param '" + std::string(key) + "'");
+    }
+  }
+  return std::make_unique<GeaAttacker>(options);
+}
+
+GuidedOptions parse_guided(std::string_view name,
+                           std::string_view params) {
+  GuidedOptions options;
+  for (const auto& [key, value] : parse_params(params)) {
+    if (key == "target") {
+      options.target_family = parse_family(value);
+    } else if (key == "candidates") {
+      options.candidates = parse_count(key, value);
+    } else if (key == "mid_points") {
+      options.mid_points = parse_count(key, value);
+    } else {
+      bad("unknown " + std::string(name) + " param '" + std::string(key) +
+          "'");
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+std::vector<std::string_view> attacker_names() {
+  return {"gea", "score", "adaptive"};
+}
+
+std::unique_ptr<Attacker> make_attacker(std::string_view name,
+                                        std::string_view params,
+                                        const core::SoteriaSystem* system) {
+  if (name == "gea") return make_gea(params);
+  if (name == "score" || name == "adaptive") {
+    if (system == nullptr) {
+      bad("'" + std::string(name) +
+          "' is oracle-guided and needs a fitted system");
+    }
+    const GuidedOptions options = parse_guided(name, params);
+    if (name == "score") {
+      return std::make_unique<ScoreGuidedAttacker>(*system, options);
+    }
+    return std::make_unique<AdaptiveAttacker>(*system, options);
+  }
+  bad("unknown attacker '" + std::string(name) + "'");
+}
+
+}  // namespace soteria::attack

@@ -1,0 +1,32 @@
+// Attacker registry: name + "key=value" params -> a ready Attacker.
+//
+// The seam the CLI (`soteria_cli attack --attack <name>`, `eval-matrix`)
+// and the robustness matrix build strategies through, so attack configs
+// are plain strings that can live in reports and test fixtures.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "soteria/system.h"
+
+namespace soteria::attack {
+
+/// The registered strategy names ("gea", "score", "adaptive").
+[[nodiscard]] std::vector<std::string_view> attacker_names();
+
+/// Creates an attacker. `params` is a comma-separated "key=value" list:
+///   common:  target=benign|gafgyt|mirai|tsunami
+///   gea:     size=small|medium|large, insert=entry|mid, injections=N
+///   guided:  candidates=N, mid_points=N
+/// Guided strategies ("score", "adaptive") require `system` — the
+/// defense they query — and must not outlive it; "gea" ignores it.
+/// Throws core::Error{kInvalidArgument} for an unknown name, malformed
+/// or unknown params, or a missing system.
+[[nodiscard]] std::unique_ptr<Attacker> make_attacker(
+    std::string_view name, std::string_view params,
+    const core::SoteriaSystem* system);
+
+}  // namespace soteria::attack

@@ -1,0 +1,38 @@
+// Injection-target selection for attackers.
+//
+// dataset::select_targets picks graph-level GEA targets (CFG only);
+// attackers additionally need the target's *binary* so the AE stays
+// executable, and need deterministic by-bucket selection from whatever
+// corpus the attack runs against. These helpers select whole Samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dataset/adversarial.h"
+#include "dataset/sample.h"
+
+namespace soteria::attack {
+
+/// The members of `family` in `corpus`, sorted by ascending CFG node
+/// count (ties by sample id) — the ordering every bucket selection
+/// derives from. Pointers into `corpus`; empty if the family is absent.
+[[nodiscard]] std::vector<const dataset::Sample*> family_members(
+    std::span<const dataset::Sample> corpus, dataset::Family family);
+
+/// The `size`-bucket target of `family`: smallest / median / largest
+/// member by node count (paper Section IV-A's Small/Medium/Large).
+/// Throws core::Error{kInvalidArgument} when the family has no members.
+[[nodiscard]] const dataset::Sample& select_target(
+    std::span<const dataset::Sample> corpus, dataset::Family family,
+    dataset::TargetSize size);
+
+/// Up to `count` members of `family` spread evenly across the sorted
+/// size range (always including the extremes when count >= 2) — the
+/// candidate pool guided attackers score. Throws
+/// core::Error{kInvalidArgument} when the family has no members.
+[[nodiscard]] std::vector<const dataset::Sample*> spread_targets(
+    std::span<const dataset::Sample> corpus, dataset::Family family,
+    std::size_t count);
+
+}  // namespace soteria::attack

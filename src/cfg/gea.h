@@ -7,11 +7,46 @@
 // exit block joins their exits, so only one branch (the original code)
 // ever executes while the *structure* — and therefore every CFG-derived
 // feature — changes.
+//
+// The combine is parameterized (GeaOptions) over the attack spectrum of
+// the GEA source paper and the explainability-guided follow-up:
+//
+// * kEntryGuard — the paper's fixed shape (Fig. 1c): a new shared entry
+//   branches to both lobes.
+// * kMidBlock — the injected lobe hangs off an interior node of the
+//   original (the shape produced when the guard is planted mid-stream
+//   at the binary level, as attribution-guided attacks do); the
+//   original's entry stays the combined entry.
+//
+// gea_combine_multi chains several injections (guard chain at the
+// entry, one injected lobe per target), mirroring the multi-injection
+// guard prologue of attack::binary_gea_multi.
 #pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "cfg/cfg.h"
 
 namespace soteria::cfg {
+
+/// Where the injected lobe attaches to the original CFG.
+enum class InsertionPoint : std::uint8_t {
+  kEntryGuard = 0,  ///< new shared entry branches to both lobes
+  kMidBlock = 1,    ///< lobe hangs off an interior node of the original
+};
+
+/// Display name ("entry" / "mid").
+[[nodiscard]] const char* insertion_point_name(InsertionPoint p) noexcept;
+
+/// Parameters of a single-target GEA combination.
+struct GeaOptions {
+  InsertionPoint insertion = InsertionPoint::kEntryGuard;
+  /// For kMidBlock: the original node the injected lobe hangs off.
+  /// Ignored by kEntryGuard. Must be < original.node_count().
+  graph::NodeId anchor = 0;
+};
 
 /// Result of a GEA combination, with the node ranges of each component
 /// exposed for tests and diagnostics.
@@ -23,12 +58,40 @@ struct GeaResult {
   graph::NodeId target_offset = 0;    ///< target's node k -> offset + k
 };
 
-/// Combines `original` with `target` per GEA. Throws
-/// std::invalid_argument if either CFG is empty.
+/// Result of a multi-injection combination.
+struct MultiGeaResult {
+  Cfg combined;
+  graph::NodeId shared_exit = 0;
+  graph::NodeId original_offset = 0;
+  /// Guard-chain nodes, one per target; guard i branches to target i's
+  /// entry and to the next guard (the last guard falls through to the
+  /// original's entry). guards[0] is the combined entry.
+  std::vector<graph::NodeId> guards;
+  std::vector<graph::NodeId> target_offsets;  ///< target i's node k -> offset + k
+};
+
+/// Combines `original` with `target` per GEA (the paper's entry-guard
+/// shape). Throws core::Error{kInvalidArgument} if either CFG is empty.
 ///
 /// Sub-CFGs with no natural exit (e.g. ending in an infinite loop) are
 /// joined to the shared exit from their deepest node so the combined
 /// graph always has the shared-entry/shared-exit shape of Fig. 1(c).
 [[nodiscard]] GeaResult gea_combine(const Cfg& original, const Cfg& target);
+
+/// Parameterized combine. kEntryGuard reproduces the two-argument
+/// overload exactly; kMidBlock keeps the original's entry and adds an
+/// `options.anchor` -> target-entry edge, with both lobes' exits joined
+/// at a shared exit. Throws core::Error{kInvalidArgument} for empty
+/// CFGs and core::Error{kOutOfRange} for an out-of-range anchor.
+[[nodiscard]] GeaResult gea_combine(const Cfg& original, const Cfg& target,
+                                    const GeaOptions& options);
+
+/// Injects every CFG of `targets` behind a guard chain at the entry:
+/// guard i branches to target i and to guard i+1 (the last guard to the
+/// original's entry); every lobe's exits join one shared exit. Throws
+/// core::Error{kInvalidArgument} for an empty original, an empty target
+/// list, or any empty target.
+[[nodiscard]] MultiGeaResult gea_combine_multi(
+    const Cfg& original, std::span<const Cfg> targets);
 
 }  // namespace soteria::cfg

@@ -1,0 +1,113 @@
+// Robustness evaluation matrix: attack x defense-config grid.
+//
+// For every (attack spec, defense config) cell, the runner generates
+// one AE per victim with the configured attacker against that cell's
+// defense variant, analyzes it with the same variant, and aggregates
+// detection rate, evasion rate, family-flip rate, and oracle query
+// cost. The grid answers the question the single-number robustness
+// tables cannot: *which* attacks get past *which* operating points.
+//
+// Determinism contract: cell (i) derives its generator as
+// Rng(seed).child(i) and victim j inside it from further children, and
+// cells are parallelized over a runtime::ThreadPool — so the report is
+// bit-identical for a fixed seed at any thread count. The JSON output
+// deliberately contains no timings or host facts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/sample.h"
+#include "soteria/system.h"
+
+namespace soteria::eval {
+
+/// One attack column: a registry name plus its parameter string (see
+/// attack::make_attacker). `label` is the display/report key.
+struct AttackSpec {
+  std::string label;
+  std::string name;
+  std::string params;
+};
+
+/// One defense row: a variant of the fitted system. `alpha` re-derives
+/// the detector threshold (Th = mu + alpha * sigma) on a copy of the
+/// base system; the base is never mutated.
+struct DefenseSpec {
+  std::string label;
+  double alpha = 1.0;
+};
+
+struct MatrixOptions {
+  std::uint64_t seed = 42;
+  /// Worker threads over cells (runtime::resolve_threads semantics:
+  /// 0 = all hardware threads). The report is bit-identical at any
+  /// setting.
+  std::size_t num_threads = 1;
+  /// Cap on victims evaluated per cell (0 = all provided victims).
+  std::size_t victims_per_cell = 0;
+};
+
+/// Aggregates of one (attack, defense) cell.
+struct MatrixCell {
+  std::string attack;   ///< AttackSpec::label
+  std::string defense;  ///< DefenseSpec::label
+  std::size_t victims = 0;       ///< AEs actually generated and scored
+  std::size_t skipped = 0;       ///< victims already of the target family
+  std::size_t failures = 0;      ///< generations that threw core::Error
+  std::size_t detected = 0;      ///< flagged by the AE detector
+  std::size_t evaded = 0;        ///< not flagged
+  std::size_t family_flips = 0;  ///< predicted != victim's true family
+  std::size_t target_hits = 0;   ///< evaded and predicted == target
+  std::size_t queries = 0;       ///< oracle queries spent in this cell
+
+  [[nodiscard]] double detection_rate() const noexcept {
+    return victims == 0 ? 0.0
+                        : static_cast<double>(detected) /
+                              static_cast<double>(victims);
+  }
+  [[nodiscard]] double evasion_rate() const noexcept {
+    return victims == 0 ? 0.0
+                        : static_cast<double>(evaded) /
+                              static_cast<double>(victims);
+  }
+  [[nodiscard]] double flip_rate() const noexcept {
+    return victims == 0 ? 0.0
+                        : static_cast<double>(family_flips) /
+                              static_cast<double>(victims);
+  }
+};
+
+/// The full grid, attack-major (cells[a * defenses + d]).
+struct MatrixReport {
+  std::uint64_t seed = 0;
+  std::size_t victims_per_cell = 0;
+  std::vector<std::string> attacks;   ///< column labels, spec order
+  std::vector<std::string> defenses;  ///< row labels, spec order
+  std::vector<MatrixCell> cells;
+
+  /// Versioned machine-readable form ({"version":1,...}); contains no
+  /// timings, so two runs of the same seed compare byte-equal.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable table for the CLI.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Runs the grid. `base` is the fitted defense the DefenseSpec variants
+/// derive from; `victims` are attacked; `corpus` supplies injection
+/// targets (typically the training set — the attacker's own material).
+/// Throws core::Error{kInvalidArgument} on an empty attack/defense list
+/// or empty victims. Per-victim attacker failures (e.g. a target family
+/// missing from the corpus) are counted in MatrixCell::failures rather
+/// than aborting the grid.
+[[nodiscard]] MatrixReport run_matrix(
+    const core::SoteriaSystem& base,
+    std::span<const dataset::Sample> victims,
+    std::span<const dataset::Sample> corpus,
+    std::span<const AttackSpec> attacks,
+    std::span<const DefenseSpec> defenses, const MatrixOptions& options);
+
+}  // namespace soteria::eval

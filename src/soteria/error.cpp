@@ -6,6 +6,7 @@ std::string_view error_code_name(ErrorCode code) noexcept {
   switch (code) {
     case ErrorCode::kOk: return "Ok";
     case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
     case ErrorCode::kInvalidConfig: return "InvalidConfig";
     case ErrorCode::kIoError: return "IoError";
     case ErrorCode::kCorruptModel: return "CorruptModel";

@@ -16,6 +16,7 @@ namespace soteria::core {
 enum class ErrorCode {
   kOk = 0,            ///< not an error (e.g. an accepted service ticket)
   kInvalidArgument,   ///< caller passed a structurally invalid value
+  kOutOfRange,        ///< a value exceeded a structural limit
   kInvalidConfig,     ///< configuration failed validation
   kIoError,           ///< file could not be opened / read / written
   kCorruptModel,      ///< persisted model stream failed validation

@@ -205,6 +205,17 @@ Verdict SoteriaSystem::analyze_features(
   return verdict;
 }
 
+FeatureScores SoteriaSystem::score_features(
+    const features::SampleFeatures& features) const {
+  FeatureScores scores;
+  scores.detector_score = detector_.sample_error(pooled_matrix(features));
+  scores.threshold = detector_.threshold();
+  scores.adversarial = scores.detector_score > scores.threshold;
+  scores.votes = classifier_.vote_counts(features);
+  scores.predicted = classifier_.predict(features);
+  return scores;
+}
+
 Verdict SoteriaSystem::analyze(const cfg::Cfg& cfg, math::Rng& rng) const {
   const obs::Span span("soteria.analyze");
   if (route_frozen(AnalyzeOptions{})) {

@@ -72,6 +72,21 @@ struct AnalyzeOptions {
   std::string frontend;
 };
 
+/// Full per-query view of what the fitted system thinks of one feature
+/// bundle — the oracle surface white-/gray-box attackers (attack::
+/// QueryOracle) optimize against. Everything here is derived from the
+/// same public detector/classifier calls a Verdict uses; exposing it in
+/// one struct just keeps attacker code from re-plumbing the pieces.
+struct FeatureScores {
+  double detector_score = 0.0;  ///< standardized-residual RMS
+  double threshold = 0.0;       ///< detector threshold Th
+  bool adversarial = false;     ///< detector_score > threshold
+  dataset::Family predicted = dataset::Family::kBenign;
+  /// Vote tally per class, Family label order (classifier majority
+  /// vote; `predicted` includes the probability-mass tie-break).
+  std::vector<std::size_t> votes;
+};
+
 class SoteriaSystem {
  public:
   /// Trains the full system on clean training samples: fits the feature
@@ -113,6 +128,13 @@ class SoteriaSystem {
   /// Runs detector + classifier on pre-extracted features. Safe for
   /// concurrent callers.
   [[nodiscard]] Verdict analyze_features(
+      const features::SampleFeatures& features) const;
+
+  /// Detector score, threshold, and full vote tally for one feature
+  /// bundle (see FeatureScores). Safe for concurrent callers; does not
+  /// touch the observability registry (attackers probing the system
+  /// should not inflate its own analysis counters).
+  [[nodiscard]] FeatureScores score_features(
       const features::SampleFeatures& features) const;
 
   /// Analyzes many samples concurrently. Sample i draws walks from

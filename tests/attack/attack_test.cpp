@@ -6,6 +6,7 @@
 #include "dataset/family_profiles.h"
 #include "isa/codegen.h"
 #include "isa/vm.h"
+#include "soteria/error.h"
 
 namespace soteria::attack {
 namespace {
@@ -51,10 +52,15 @@ TEST(BinaryGea, ExtractedCfgHasSharedEntryShape) {
 
 TEST(BinaryGea, Validation) {
   const auto good = sample_binary(dataset::Family::kBenign, 5);
-  EXPECT_THROW((void)binary_gea({}, good), std::invalid_argument);
-  EXPECT_THROW((void)binary_gea(good, {}), std::invalid_argument);
+  try {
+    (void)binary_gea({}, good);
+    FAIL() << "expected core::Error";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+  }
+  EXPECT_THROW((void)binary_gea(good, {}), core::Error);
   const std::vector<std::uint8_t> ragged{1, 2, 3};
-  EXPECT_THROW((void)binary_gea(ragged, good), std::invalid_argument);
+  EXPECT_THROW((void)binary_gea(ragged, good), core::Error);
 }
 
 TEST(AppendAttack, ChangesBytesNotCfg) {
@@ -125,8 +131,7 @@ TEST(IndirectBranches, ZeroFractionIsIdentity) {
   const auto original = sample_binary(dataset::Family::kBenign, 18);
   math::Rng rng(19);
   EXPECT_EQ(indirect_branches(original, 0.0, rng), original);
-  EXPECT_THROW((void)indirect_branches(original, 1.5, rng),
-               std::invalid_argument);
+  EXPECT_THROW((void)indirect_branches(original, 1.5, rng), core::Error);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "graph/generators.h"
 #include "graph/traversal.h"
 #include "math/rng.h"
+#include "soteria/error.h"
 
 namespace soteria::cfg {
 namespace {
@@ -81,10 +82,80 @@ TEST(Gea, EverythingReachableFromSharedEntry) {
 }
 
 TEST(Gea, EmptyCfgThrows) {
-  EXPECT_THROW((void)gea_combine(Cfg{}, diamond_cfg()),
-               std::invalid_argument);
-  EXPECT_THROW((void)gea_combine(diamond_cfg(), Cfg{}),
-               std::invalid_argument);
+  try {
+    (void)gea_combine(Cfg{}, diamond_cfg());
+    FAIL() << "expected core::Error";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.code(), core::ErrorCode::kInvalidArgument);
+  }
+  EXPECT_THROW((void)gea_combine(diamond_cfg(), Cfg{}), core::Error);
+}
+
+TEST(Gea, MidBlockHangsLobeOffAnchor) {
+  const Cfg original = diamond_cfg();
+  const Cfg target = chain_cfg(3);
+  GeaOptions options;
+  options.insertion = InsertionPoint::kMidBlock;
+  options.anchor = 1;
+  const auto result = gea_combine(original, target, options);
+  const auto& g = result.combined.graph();
+  // original + target + shared exit only (no new shared entry).
+  EXPECT_EQ(result.combined.node_count(), 4U + 3U + 1U);
+  EXPECT_EQ(result.combined.entry(), result.original_offset + 0);
+  EXPECT_TRUE(g.has_edge(result.original_offset + 1,
+                         result.target_offset + 0));
+  EXPECT_TRUE(g.has_edge(result.original_offset + 3, result.shared_exit));
+  EXPECT_TRUE(g.has_edge(result.target_offset + 2, result.shared_exit));
+  // Everything stays reachable from the original entry.
+  const auto reach = graph::reachable_from(g, result.combined.entry());
+  for (bool r : reach) EXPECT_TRUE(r);
+}
+
+TEST(Gea, MidBlockAnchorOutOfRangeThrows) {
+  GeaOptions options;
+  options.insertion = InsertionPoint::kMidBlock;
+  options.anchor = 99;
+  try {
+    (void)gea_combine(diamond_cfg(), chain_cfg(3), options);
+    FAIL() << "expected core::Error";
+  } catch (const core::Error& e) {
+    EXPECT_EQ(e.code(), core::ErrorCode::kOutOfRange);
+  }
+}
+
+TEST(Gea, EntryGuardOptionsMatchTwoArgOverload) {
+  const auto plain = gea_combine(diamond_cfg(), chain_cfg(3));
+  const auto opt = gea_combine(diamond_cfg(), chain_cfg(3), GeaOptions{});
+  EXPECT_EQ(plain.combined.node_count(), opt.combined.node_count());
+  EXPECT_EQ(plain.combined.edge_count(), opt.combined.edge_count());
+  EXPECT_EQ(plain.shared_entry, opt.shared_entry);
+  EXPECT_EQ(plain.shared_exit, opt.shared_exit);
+}
+
+TEST(Gea, MultiInjectionBuildsGuardChain) {
+  const Cfg original = diamond_cfg();
+  const std::vector<Cfg> targets = {chain_cfg(3), chain_cfg(2),
+                                    chain_cfg(5)};
+  const auto result = gea_combine_multi(original, targets);
+  const auto& g = result.combined.graph();
+  ASSERT_EQ(result.guards.size(), 3U);
+  ASSERT_EQ(result.target_offsets.size(), 3U);
+  EXPECT_EQ(result.combined.node_count(),
+            3U + 4U + (3U + 2U + 5U) + 1U);
+  EXPECT_EQ(result.combined.entry(), result.guards.front());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_TRUE(
+        g.has_edge(result.guards[i], result.target_offsets[i] + 0));
+  }
+  EXPECT_TRUE(g.has_edge(result.guards[0], result.guards[1]));
+  EXPECT_TRUE(g.has_edge(result.guards[1], result.guards[2]));
+  EXPECT_TRUE(g.has_edge(result.guards[2], result.original_offset + 0));
+  const auto reach = graph::reachable_from(g, result.combined.entry());
+  for (bool r : reach) EXPECT_TRUE(r);
+}
+
+TEST(Gea, MultiInjectionRejectsEmptyTargetList) {
+  EXPECT_THROW((void)gea_combine_multi(diamond_cfg(), {}), core::Error);
 }
 
 TEST(Gea, LoopOnlyCfgStillJoinsExit) {
